@@ -1,0 +1,30 @@
+//! Simulation scalability: wall-clock per simulated second as the LAN
+//! grows (the engine behind figure F2's sweeps).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arpshield_core::scenario::lan::build;
+use arpshield_core::scenario::ScenarioConfig;
+use arpshield_netsim::SimTime;
+
+fn bench_lan_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scalability");
+    group.sample_size(10);
+    for n in [5usize, 20, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let config =
+                    ScenarioConfig::new(7).with_hosts(n).with_duration(Duration::from_secs(3));
+                let mut lan = build(config);
+                lan.sim.run_until(SimTime::from_secs(3));
+                lan.sim.wire_stats().frames
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lan_sizes);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Throughput of the wire-format codecs every monitor runs per packet.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use arpshield_packet::{
+    ArpPacket, DhcpMessage, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Packet, MacAddr,
+    UdpDatagram,
+};
+
+fn arp_frame_bytes() -> Vec<u8> {
+    let arp = ArpPacket::request(
+        MacAddr::from_index(1),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+    );
+    EthernetFrame::new(MacAddr::BROADCAST, MacAddr::from_index(1), EtherType::ARP, arp.encode())
+        .encode()
+}
+
+fn udp_frame_bytes() -> Vec<u8> {
+    let dgram = UdpDatagram::new(40_000, 7, vec![0xab; 256])
+        .encode(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    let pkt = Ipv4Packet::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        IpProtocol::Udp,
+        dgram,
+    );
+    EthernetFrame::new(
+        MacAddr::from_index(2),
+        MacAddr::from_index(1),
+        EtherType::Ipv4,
+        pkt.encode(),
+    )
+    .encode()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_codec");
+
+    let arp_bytes = arp_frame_bytes();
+    group.throughput(Throughput::Bytes(arp_bytes.len() as u64));
+    group.bench_function("parse_eth_arp", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::parse(black_box(&arp_bytes)).unwrap();
+            ArpPacket::parse(&eth.payload).unwrap()
+        })
+    });
+    group.bench_function("encode_eth_arp", |b| b.iter(|| black_box(arp_frame_bytes())));
+
+    let udp_bytes = udp_frame_bytes();
+    group.throughput(Throughput::Bytes(udp_bytes.len() as u64));
+    group.bench_function("parse_eth_ipv4_udp", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::parse(black_box(&udp_bytes)).unwrap();
+            let pkt = Ipv4Packet::parse(&eth.payload).unwrap();
+            UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst).unwrap()
+        })
+    });
+
+    let dhcp = DhcpMessage::discover(7, MacAddr::from_index(9)).encode();
+    group.throughput(Throughput::Bytes(dhcp.len() as u64));
+    group.bench_function("parse_dhcp_discover", |b| {
+        b.iter(|| DhcpMessage::parse(black_box(&dhcp)).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Passive-monitor database scalability: observation cost as the
+//! station database grows (figure F5's micro-level companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use arpshield_netsim::SimTime;
+use arpshield_packet::{Ipv4Addr, MacAddr};
+use arpshield_schemes::{AlertLog, PassiveConfig, PassiveMonitor};
+
+fn monitor_with_stations(n: u32) -> PassiveMonitor {
+    let mut m = PassiveMonitor::new(PassiveConfig::default(), AlertLog::new());
+    for i in 0..n {
+        m.observe(SimTime::from_secs(1), Ipv4Addr::from_u32(0x0a00_0000 + i), MacAddr::from_index(i));
+    }
+    m
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("passive_observe");
+    for n in [10u32, 100, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("stable_binding", n), &n, |b, &n| {
+            let mut m = monitor_with_stations(n);
+            b.iter(|| {
+                m.observe(
+                    black_box(SimTime::from_secs(2)),
+                    black_box(Ipv4Addr::from_u32(0x0a00_0000 + n / 2)),
+                    black_box(MacAddr::from_index(n / 2)),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flipping_binding", n), &n, |b, &n| {
+            let mut m = monitor_with_stations(n);
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let mac = MacAddr::from_index(if flip { 999_999 } else { n / 2 });
+                m.observe(SimTime::from_secs(2), Ipv4Addr::from_u32(0x0a00_0000 + n / 2), mac)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Wall-clock cost of simulating one attacked LAN-second under each
+//! scheme — how expensive the defences make the *simulation*, which
+//! tracks their packet-path work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arpshield_attacks::PoisonVariant;
+use arpshield_core::scenario::{AttackScenario, ScenarioConfig};
+use arpshield_schemes::SchemeKind;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_cost");
+    group.sample_size(10);
+    for scheme in SchemeKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let config = ScenarioConfig::new(99)
+                        .with_hosts(4)
+                        .with_scheme(scheme)
+                        .with_duration(Duration::from_secs(4));
+                    AttackScenario::poisoning(config, PoisonVariant::UnicastReply).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

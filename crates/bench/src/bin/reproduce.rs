@@ -1,0 +1,103 @@
+//! Regenerates every table and figure of the evaluation.
+//!
+//! ```text
+//! reproduce            # run everything
+//! reproduce t3 f1      # run a subset by id
+//! reproduce --out DIR  # also write CSVs (default: results/)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use arpshield_core::experiment::{
+    f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time,
+    f5_passive_scale, f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage,
+    t4_false_positives, t5_cost, t6_dos_coverage,
+};
+use arpshield_core::{taxonomy, Series, Table};
+
+const SEED: u64 = 20070625; // the venue's year, as a nod
+
+struct Output {
+    out_dir: PathBuf,
+}
+
+impl Output {
+    fn table(&self, id: &str, table: &Table) {
+        println!("{}", table.render());
+        let path = self.out_dir.join(format!("{id}.csv"));
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+
+    fn series(&self, id: &str, series: &[Series]) {
+        for (i, s) in series.iter().enumerate() {
+            println!("{}", s.render());
+            let path = self.out_dir.join(format!("{id}_{i}.csv"));
+            if let Err(e) = fs::write(&path, s.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results");
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        if pos < args.len() {
+            out_dir = PathBuf::from(args.remove(pos));
+        }
+    }
+    fs::create_dir_all(&out_dir).ok();
+    let out = Output { out_dir };
+    let selected: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!("arpshield reproduction harness (seed {SEED})");
+    println!("every experiment is deterministic; CSVs land in {}/\n", out.out_dir.display());
+    let started = Instant::now();
+
+    if want("t1") {
+        out.table("t1", &taxonomy::table());
+    }
+    if want("t2") {
+        out.table("t2", &t2_susceptibility(SEED));
+    }
+    if want("t3") {
+        out.table("t3", &t3_coverage(SEED));
+    }
+    if want("t4") {
+        out.table("t4", &t4_false_positives(SEED));
+    }
+    if want("t5") {
+        out.table("t5", &t5_cost(SEED));
+    }
+    if want("t6") {
+        out.table("t6", &t6_dos_coverage(SEED));
+    }
+    if want("f1") {
+        out.series("f1", &f1_detection_latency(SEED, 30));
+    }
+    if want("f2") {
+        out.series("f2", &f2_overhead(SEED, &[5, 10, 20, 40, 80]));
+    }
+    if want("f3") {
+        out.table("f3", &f3_resolution_latency(SEED));
+    }
+    if want("f4") {
+        out.table("f4", &f4_poisoned_time(SEED));
+    }
+    if want("f5") {
+        out.series("f5", &f5_passive_scale(SEED, &[5, 10, 20, 40, 80]));
+    }
+    if want("f6") {
+        out.series("f6a", &f6_flood_dynamics(SEED));
+        out.series("f6b", &[f6_starvation_dynamics(SEED)]);
+    }
+
+    println!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

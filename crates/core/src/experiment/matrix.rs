@@ -1,0 +1,133 @@
+//! T2 (attack × policy susceptibility) and T3 (scheme × attack
+//! coverage), the two matrices at the heart of the analysis.
+
+use std::time::Duration;
+
+use arpshield_attacks::PoisonVariant;
+use arpshield_host::ArpPolicy;
+use arpshield_schemes::SchemeKind;
+
+use crate::metrics::score_attack_run;
+use crate::report::Table;
+use crate::scenario::{AttackScenario, ScenarioConfig};
+
+fn quick_config(seed: u64) -> ScenarioConfig {
+    ScenarioConfig::new(seed)
+        .with_hosts(4)
+        .with_duration(Duration::from_secs(10))
+        // Short cache lifetime so victims re-resolve during the run —
+        // the reply-race variant needs a genuine request to answer.
+        .with_arp_timeout(Duration::from_secs(4))
+}
+
+/// T2: which poisoning variants succeed against which unprotected ARP
+/// acceptance policies.
+///
+/// Rows are attack variants, columns cache policies; a cell reads
+/// `poisoned` when the victim's cache held the forged binding at any
+/// point after the attack began.
+pub fn t2_susceptibility(seed: u64) -> Table {
+    let policies = ArpPolicy::all();
+    let mut headers: Vec<&str> = vec!["attack \\ policy"];
+    headers.extend(policies.iter().map(|p| p.label()));
+    let mut table = Table::new(
+        "T2: poisoning-variant susceptibility by ARP acceptance policy (unprotected hosts)",
+        &headers,
+    );
+    for variant in PoisonVariant::all() {
+        let mut row = vec![variant.label().to_string()];
+        for policy in policies {
+            let run = AttackScenario::poisoning(
+                quick_config(seed ^ variant.label().len() as u64).with_policy(policy),
+                variant,
+            )
+            .run();
+            let poisoned = run.samples.borrow().ever_poisoned();
+            row.push(if poisoned { "poisoned".to_string() } else { "safe".to_string() });
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// The attack columns of the coverage matrix.
+pub(crate) fn t3_attacks() -> Vec<PoisonVariant> {
+    PoisonVariant::all().to_vec()
+}
+
+/// T3: scheme × attack coverage.
+///
+/// Cells: `P` prevented, `D(latency)` detected, `P+D`, `-` missed. The
+/// victim runs the `Standard` policy (the common default), except where
+/// a scheme mandates its own.
+pub fn t3_coverage(seed: u64) -> Table {
+    let attacks = t3_attacks();
+    let mut headers: Vec<String> = vec!["scheme \\ attack".to_string()];
+    headers.extend(attacks.iter().map(|a| a.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("T3: scheme x attack coverage (P=prevented, D=detected)", &header_refs);
+    for scheme in SchemeKind::all() {
+        let mut row = vec![scheme.label().to_string()];
+        for variant in &attacks {
+            // Promiscuous victim for the baseline-sensitivity attacks, so
+            // prevention differences come from the scheme, not the OS
+            // policy; schemes that mandate a policy override it anyway.
+            let config = quick_config(seed ^ (row.len() as u64) << 8)
+                .with_scheme(scheme)
+                .with_policy(ArpPolicy::Promiscuous);
+            let run = AttackScenario::poisoning(config, *variant).run();
+            row.push(score_attack_run(&run).cell());
+        }
+        table.row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_shape_and_extremes() {
+        let t = t2_susceptibility(1);
+        assert_eq!(t.len(), PoisonVariant::all().len());
+        // Static-only column is entirely safe; promiscuous column is
+        // entirely poisoned.
+        for row in 0..t.len() {
+            assert_eq!(t.cell(row, 1), Some("poisoned"), "promiscuous row {row}");
+            assert_eq!(t.cell(row, 4), Some("safe"), "static-only row {row}");
+        }
+    }
+
+    #[test]
+    fn t2_standard_policy_nuances() {
+        let t = t2_susceptibility(1);
+        // Row order = PoisonVariant::all(). Standard policy (column 2):
+        // gratuitous-reply updates the existing entry -> poisoned;
+        // unicast-request creates (addressed to us) -> poisoned.
+        let label = |r: usize| t.cell(r, 0).unwrap().to_string();
+        for r in 0..t.len() {
+            match label(r).as_str() {
+                "gratuitous-reply" | "unicast-request" | "reply-race" | "unicast-reply" => {
+                    assert_eq!(t.cell(r, 2), Some("poisoned"), "{}", label(r));
+                }
+                _ => {}
+            }
+        }
+        // No-unsolicited (column 3) stops plain unsolicited replies but
+        // not the race.
+        for r in 0..t.len() {
+            match label(r).as_str() {
+                "unicast-reply" | "blackhole-dos" => {
+                    assert_eq!(t.cell(r, 3), Some("safe"), "{}", label(r));
+                }
+                "reply-race" => assert_eq!(t.cell(r, 3), Some("poisoned")),
+                _ => {}
+            }
+        }
+    }
+
+    // T3 is exercised end-to-end by the integration suite (it is the
+    // most expensive table); key individual cells are asserted in
+    // `tests/coverage_matrix.rs` at the workspace root.
+}

@@ -1,0 +1,31 @@
+//! The evaluation experiments, one function per table/figure.
+//!
+//! Every experiment is deterministic: same seed, same bytes out. The
+//! `reproduce` binary in `arpshield-bench` prints them all; the mapping
+//! to the paper's evaluation is documented in `DESIGN.md` and the
+//! measured results in `EXPERIMENTS.md`.
+
+mod cost;
+mod dos_coverage;
+mod dynamics;
+mod fp;
+mod latency;
+mod matrix;
+mod overhead;
+mod poisoned;
+
+pub use cost::t5_cost;
+pub use dos_coverage::t6_dos_coverage;
+pub use dynamics::{f6_flood_dynamics, f6_starvation_dynamics};
+pub use fp::t4_false_positives;
+pub use latency::{f1_detection_latency, f3_resolution_latency};
+pub use matrix::{t2_susceptibility, t3_coverage};
+pub use poisoned::f4_poisoned_time;
+pub use overhead::{f2_overhead, f5_passive_scale};
+
+/// The scheme subset the detection-latency figure sweeps (the ones that
+/// raise alerts at all).
+pub(crate) fn detecting_schemes() -> Vec<arpshield_schemes::SchemeKind> {
+    use arpshield_schemes::SchemeKind::*;
+    vec![Passive, Stateful, ActiveProbe, Hybrid, Antidote, Dai, SArp]
+}

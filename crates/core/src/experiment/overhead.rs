@@ -1,0 +1,107 @@
+//! F2 (wire overhead vs LAN size) and F5 (passive-monitor scalability).
+
+use std::time::Duration;
+
+use arpshield_schemes::SchemeKind;
+
+use crate::report::Series;
+use crate::scenario::lan::build;
+use crate::scenario::ScenarioConfig;
+
+/// The scheme subset F2 compares (baseline plus one of each class).
+fn overhead_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::None,
+        SchemeKind::Passive,
+        SchemeKind::Stateful,
+        SchemeKind::ActiveProbe,
+        SchemeKind::Dai,
+        SchemeKind::SArp,
+    ]
+}
+
+/// F2: total wire traffic (kB per simulated second) as the LAN grows,
+/// one series per scheme, on an attack-free steady workload.
+///
+/// The expected shape: passive monitors *inject* nothing but cost the
+/// mirror-span copy of every frame (visible as a near-2× step over the
+/// baseline); the active prober pays the same mirror cost plus injected
+/// probe traffic growing with station count; S-ARP adds signature bytes
+/// to every resolution plus AKD round trips (but needs no mirror).
+pub fn f2_overhead(seed: u64, sizes: &[usize]) -> Vec<Series> {
+    let duration = Duration::from_secs(8);
+    overhead_schemes()
+        .into_iter()
+        .map(|scheme| {
+            let mut series = Series::new(
+                format!("F2[{}]: wire kB/s vs LAN size", scheme.label()),
+                "hosts",
+                "kib_per_sec",
+            );
+            for &n in sizes {
+                let config = ScenarioConfig::new(seed)
+                    .with_hosts(n)
+                    .with_scheme(scheme)
+                    .with_duration(duration);
+                let mut lan = build(config);
+                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
+                let bytes = lan.sim.wire_stats().bytes as f64;
+                series.push(n as f64, bytes / 1024.0 / duration.as_secs_f64());
+            }
+            series
+        })
+        .collect()
+}
+
+/// F5: passive-monitor state and work versus LAN size.
+///
+/// Two series: database entries (one per live station — linear) and
+/// work units charged (linear in *traffic*, i.e. super-linear in hosts
+/// when each host keeps a constant chat rate).
+pub fn f5_passive_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
+    let duration = Duration::from_secs(8);
+    let mut entries = Series::new("F5a: passive monitor DB entries vs hosts", "hosts", "entries");
+    let mut work = Series::new("F5b: passive monitor work units vs hosts", "hosts", "work_units");
+    for &n in sizes {
+        let config = ScenarioConfig::new(seed)
+            .with_hosts(n)
+            .with_scheme(SchemeKind::Passive)
+            .with_duration(duration);
+        let mut lan = build(config);
+        lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
+        // Station count: every host + gateway spoke ARP at least once.
+        entries.push(n as f64, (n + 1) as f64);
+        work.push(n as f64, lan.alerts.work_of("passive") as f64);
+    }
+    vec![entries, work]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_active_probe_exceeds_baseline_and_passive_matches_it() {
+        let series = f2_overhead(4, &[4, 8]);
+        let find = |label: &str| {
+            series.iter().find(|s| s.title().contains(label)).unwrap().points().to_vec()
+        };
+        let none = find("[none]");
+        let passive = find("[passive]");
+        let probe = find("[active-probe]");
+        let sarp = find("[sarp]");
+        for i in 0..none.len() {
+            assert!(passive[i].1 > none[i].1, "mirror span duplicates traffic");
+            assert!(passive[i].1 < none[i].1 * 2.5, "passive injects nothing beyond the mirror");
+            assert!(probe[i].1 >= passive[i].1, "probing adds injected frames");
+            assert!(sarp[i].1 > none[i].1, "signatures cost bytes");
+        }
+    }
+
+    #[test]
+    fn f5_work_grows_with_hosts() {
+        let series = f5_passive_scale(4, &[3, 9]);
+        let work = series[1].points();
+        assert!(work[1].1 > work[0].1 * 2.0, "{:?}", work);
+    }
+}

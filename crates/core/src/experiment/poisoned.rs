@@ -1,0 +1,68 @@
+//! F4: fraction of time the victim's cache stays poisoned under a
+//! persistent attacker, per scheme — the prevention-efficacy figure.
+
+use std::time::Duration;
+
+use arpshield_attacks::PoisonVariant;
+use arpshield_schemes::SchemeKind;
+
+use crate::metrics::score_attack_run;
+use crate::report::Table;
+use crate::scenario::{AttackScenario, ScenarioConfig};
+
+/// F4: a unicast-reply poisoner re-poisons every 2 s for 30 s against a
+/// victim with a 10 s cache timeout; each row reports how much of the
+/// post-attack time the victim's gateway binding pointed at the
+/// attacker, and what that did to the victim's traffic.
+///
+/// The shape that must hold: preventing schemes pin the fraction at
+/// zero; purely detecting schemes leave it near one (alarms don't heal
+/// caches); Antidote sits at zero *with* connectivity because it defends
+/// the live incumbent.
+pub fn f4_poisoned_time(seed: u64) -> Table {
+    let mut table = Table::new(
+        "F4: fraction of time victim poisoned under persistent re-poisoning (30 s)",
+        &["scheme", "poisoned_fraction", "victim_delivery", "alerts"],
+    );
+    for scheme in SchemeKind::all() {
+        let config = ScenarioConfig::new(seed)
+            .with_hosts(4)
+            .with_scheme(scheme)
+            .with_duration(Duration::from_secs(30))
+            .with_arp_timeout(Duration::from_secs(10))
+            .with_policy(arpshield_host::ArpPolicy::Promiscuous);
+        let run = AttackScenario::poisoning(config, PoisonVariant::UnicastReply).run();
+        let outcome = score_attack_run(&run);
+        table.row([
+            scheme.label().to_string(),
+            format!("{:.3}", outcome.poisoned_fraction),
+            format!("{:.3}", outcome.victim_delivery),
+            outcome.alerts.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prevention_pins_fraction_to_zero_and_detection_does_not() {
+        let t = f4_poisoned_time(11);
+        let frac = |name: &str| -> f64 {
+            for r in 0..t.len() {
+                if t.cell(r, 0) == Some(name) {
+                    return t.cell(r, 1).unwrap().parse().unwrap();
+                }
+            }
+            panic!("no row {name}");
+        };
+        assert_eq!(frac("static-arp"), 0.0);
+        assert_eq!(frac("sarp"), 0.0);
+        assert_eq!(frac("dai"), 0.0);
+        assert_eq!(frac("antidote"), 0.0);
+        assert!(frac("none") > 0.5, "baseline should stay poisoned: {}", frac("none"));
+        assert!(frac("passive") > 0.5, "alarms do not heal caches: {}", frac("passive"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The analysis framework: scenarios, metrics, and experiments that
+//! reproduce the paper's evaluation of ARP-cache-poisoning defences.
+//!
+//! This crate is the reproduction's primary contribution. It composes the
+//! substrates — the LAN simulator, host stacks, attacker toolkit, and the
+//! scheme implementations — into scored experiments:
+//!
+//! * [`scenario`] builds deterministic LANs with a chosen
+//!   [`SchemeKind`](arpshield_schemes::SchemeKind) deployed and attacks
+//!   or benign churn injected;
+//! * [`metrics`] turns ground truth + alerts + cache samples into
+//!   prevention/detection outcomes, latencies, and false-positive
+//!   counts;
+//! * [`experiment`] runs each table and figure of the evaluation
+//!   (T1–T5, F1–F6 in `DESIGN.md`);
+//! * [`report`] renders the results as aligned text tables, ASCII
+//!   series, and CSV.
+//!
+//! # Example: one cell of the coverage matrix
+//!
+//! ```rust
+//! use arpshield_core::scenario::{AttackScenario, ScenarioConfig};
+//! use arpshield_core::metrics::score_attack_run;
+//! use arpshield_schemes::SchemeKind;
+//! use arpshield_attacks::PoisonVariant;
+//!
+//! let config = ScenarioConfig::new(42).with_scheme(SchemeKind::Passive);
+//! let run = AttackScenario::poisoning(config, PoisonVariant::GratuitousReply).run();
+//! let outcome = score_attack_run(&run);
+//! assert!(outcome.detected, "arpwatch-style monitoring flags the flip");
+//! assert!(!outcome.prevented, "...but cannot stop it");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod scenario;
+pub mod taxonomy;
+
+pub use metrics::{score_attack_run, AttackOutcome};
+pub use report::{Series, Table};
+pub use scenario::{AttackScenario, CompletedRun, ScenarioConfig};

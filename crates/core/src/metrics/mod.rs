@@ -1,0 +1,8 @@
+//! Scoring: turning ground truth, alerts, and cache samples into
+//! outcomes.
+
+mod confusion;
+mod sampler;
+
+pub use confusion::{score_attack_run, AttackOutcome};
+pub use sampler::{CacheSampler, SampleLog, Watch};

@@ -1,0 +1,117 @@
+//! Periodic ground-truth sampling of victim ARP caches.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use arpshield_host::HostHandle;
+use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
+use arpshield_packet::{Ipv4Addr, MacAddr};
+
+/// One cache binding under watch: "in `host`'s cache, `ip` must map to
+/// `legitimate_mac`".
+#[derive(Debug, Clone)]
+pub struct Watch {
+    /// The host whose cache is observed.
+    pub host: HostHandle,
+    /// The IP whose binding matters (typically the gateway's).
+    pub ip: Ipv4Addr,
+    /// The true owner of that IP.
+    pub legitimate_mac: MacAddr,
+}
+
+/// The samples a [`CacheSampler`] collects.
+#[derive(Debug, Default, Clone)]
+pub struct SampleLog {
+    /// `(time, any-watched-cache-poisoned)` in sampling order.
+    pub samples: Vec<(SimTime, bool)>,
+}
+
+impl SampleLog {
+    /// First sample time at which a watched cache was poisoned.
+    pub fn first_poisoned_at(&self) -> Option<SimTime> {
+        self.samples.iter().find(|(_, p)| *p).map(|(t, _)| *t)
+    }
+
+    /// True if any sample ever observed poisoning.
+    pub fn ever_poisoned(&self) -> bool {
+        self.samples.iter().any(|(_, p)| *p)
+    }
+
+    /// Fraction of samples at or after `since` that observed poisoning.
+    pub fn poisoned_fraction_since(&self, since: SimTime) -> f64 {
+        let relevant: Vec<_> = self.samples.iter().filter(|(t, _)| *t >= since).collect();
+        if relevant.is_empty() {
+            return 0.0;
+        }
+        relevant.iter().filter(|(_, p)| *p).count() as f64 / relevant.len() as f64
+    }
+}
+
+/// A measurement device that polls watched ARP caches on a fixed period
+/// and records whether any of them is poisoned.
+///
+/// It is pure instrumentation: it owns no ports' traffic and transmits
+/// nothing (it attaches to a switch port only because every device needs
+/// a seat; the port stays silent).
+#[derive(Debug)]
+pub struct CacheSampler {
+    watches: Vec<Watch>,
+    period: Duration,
+    log: Rc<RefCell<SampleLog>>,
+}
+
+impl CacheSampler {
+    /// Creates a sampler and the shared log it fills.
+    pub fn new(watches: Vec<Watch>, period: Duration) -> (Self, Rc<RefCell<SampleLog>>) {
+        let log = Rc::new(RefCell::new(SampleLog::default()));
+        (CacheSampler { watches, period, log: Rc::clone(&log) }, log)
+    }
+}
+
+impl Device for CacheSampler {
+    fn name(&self) -> &str {
+        "cache-sampler"
+    }
+
+    fn port_count(&self) -> usize {
+        1
+    }
+
+    fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+        ctx.schedule_in(self.period, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, _token: u64) {
+        let now = ctx.now();
+        let poisoned = self
+            .watches
+            .iter()
+            .any(|w| w.host.cache.borrow().is_poisoned(now, w.ip, w.legitimate_mac));
+        self.log.borrow_mut().samples.push((now, poisoned));
+        ctx.schedule_in(self.period, 0);
+    }
+
+    fn on_frame(&mut self, _ctx: &mut DeviceCtx<'_>, _port: PortId, _frame: &[u8]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_log_math() {
+        let log = SampleLog {
+            samples: vec![
+                (SimTime::from_secs(1), false),
+                (SimTime::from_secs(2), true),
+                (SimTime::from_secs(3), true),
+                (SimTime::from_secs(4), false),
+            ],
+        };
+        assert!(log.ever_poisoned());
+        assert_eq!(log.first_poisoned_at(), Some(SimTime::from_secs(2)));
+        assert!((log.poisoned_fraction_since(SimTime::from_secs(2)) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(log.poisoned_fraction_since(SimTime::from_secs(9)), 0.0);
+    }
+}

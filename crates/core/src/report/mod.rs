@@ -1,0 +1,7 @@
+//! Result rendering: text tables, ASCII series, CSV.
+
+mod series;
+mod table;
+
+pub use series::Series;
+pub use table::Table;

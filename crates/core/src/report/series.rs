@@ -1,0 +1,160 @@
+//! Numeric series for figures: ASCII plots plus CSV.
+
+use std::fmt;
+
+/// One named data series of `(x, y)` points, the unit figures are built
+/// from.
+///
+/// ```rust
+/// use arpshield_core::Series;
+///
+/// let mut s = Series::new("F-demo: latency CDF", "latency_ms", "fraction");
+/// s.push(1.0, 0.5);
+/// s.push(2.0, 1.0);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.to_csv().contains("latency_ms,fraction"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    title: String,
+    x_label: String,
+    y_label: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Series {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) -> &mut Self {
+        self.points.push((x, y));
+        self
+    }
+
+    /// The series title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The points in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points exist.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest y value, if any.
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|(_, y)| *y).fold(None, |acc, y| {
+            Some(match acc {
+                Some(m) if m >= y => m,
+                _ => y,
+            })
+        })
+    }
+
+    /// Renders a horizontal-bar ASCII plot: one line per point, bar
+    /// length proportional to `y`.
+    pub fn render(&self) -> String {
+        const BAR: usize = 50;
+        let mut out = format!("== {} ==\n", self.title);
+        out.push_str(&format!("   {} vs {}\n", self.y_label, self.x_label));
+        let max = self.max_y().unwrap_or(0.0).max(f64::MIN_POSITIVE);
+        for (x, y) in &self.points {
+            let filled = ((y / max) * BAR as f64).round().clamp(0.0, BAR as f64) as usize;
+            out.push_str(&format!(
+                "  {x:>12.3} | {}{} {y:.4}\n",
+                "#".repeat(filled),
+                " ".repeat(BAR - filled)
+            ));
+        }
+        out
+    }
+
+    /// Renders as CSV with the axis labels as header.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("{},{}\n", self.x_label, self.y_label);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+
+    /// Builds an empirical CDF series from raw samples (any order).
+    pub fn cdf(title: impl Into<String>, x_label: impl Into<String>, mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mut s = Series::new(title, x_label, "cum_fraction");
+        let n = samples.len();
+        for (i, x) in samples.into_iter().enumerate() {
+            s.push(x, (i + 1) as f64 / n as f64);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone_ending_at_one() {
+        let s = Series::cdf("cdf", "ms", vec![3.0, 1.0, 2.0, 2.0]);
+        let pts = s.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].0, 1.0);
+        assert!((pts[3].1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut s = Series::new("demo", "x", "y");
+        s.push(1.0, 10.0);
+        s.push(2.0, 5.0);
+        let text = s.render();
+        let full = text.lines().nth(2).unwrap().matches('#').count();
+        let half = text.lines().nth(3).unwrap().matches('#').count();
+        assert_eq!(full, 50);
+        assert_eq!(half, 25);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut s = Series::new("demo", "hosts", "bytes");
+        s.push(10.0, 123.0);
+        let csv = s.to_csv();
+        assert_eq!(csv, "hosts,bytes\n10,123\n");
+    }
+
+    #[test]
+    fn max_y_handles_empty() {
+        let s = Series::new("demo", "x", "y");
+        assert_eq!(s.max_y(), None);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Aligned text tables.
+
+use std::fmt;
+
+/// A rectangular result table with a title and column headers.
+///
+/// ```rust
+/// use arpshield_core::Table;
+///
+/// let mut t = Table::new("T-demo: example", &["scheme", "result"]);
+/// t.row(["passive", "detected"]);
+/// t.row(["s-arp", "prevented"]);
+/// let text = t.render();
+/// assert!(text.contains("scheme"));
+/// assert!(text.contains("prevented"));
+/// assert_eq!(t.to_csv().lines().count(), 3); // header + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Cell accessor (row, column), for assertions in tests.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders an aligned, boxed text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let rule: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .chain(std::iter::once("+".to_string()))
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!("| {cell:<w$} "));
+            }
+            line.push('|');
+            line.push('\n');
+            line
+        };
+        out.push_str(&rule);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.headers));
+        out.push_str(&rule);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&rule);
+        out.push('\n');
+        out
+    }
+
+    /// Renders as CSV (header + rows), quoting cells containing commas.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_shape() {
+        let mut t = Table::new("demo", &["a", "long-header", "c"]);
+        t.row(["x", "y", "z"]);
+        t.row(["longer-cell", "s", "t"]);
+        let text = t.render();
+        let lines: Vec<_> = text.lines().collect();
+        // title + 3 rules + header + 2 rows
+        assert_eq!(lines.len(), 7);
+        let widths: std::collections::HashSet<usize> =
+            lines[1..].iter().map(|l| l.len()).collect();
+        assert_eq!(widths.len(), 1, "all body lines equally wide: {text}");
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(["only"]);
+        t.row(["x", "y"]);
+        assert_eq!(t.cell(0, 1), Some(""));
+        assert_eq!(t.cell(1, 1), Some("y"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.row(["a,b", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.starts_with("k,v\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_rejected() {
+        let _ = Table::new("bad", &[]);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new("d", &["x"]);
+        t.row(["1"]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

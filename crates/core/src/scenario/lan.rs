@@ -1,0 +1,526 @@
+//! The standard experimental LAN and per-scheme deployment wiring.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use arpshield_attacks::GroundTruth;
+use arpshield_crypto::{Akd, KeyPair};
+use arpshield_host::apps::{PingApp, PingStats};
+use arpshield_host::{ArpPolicy, Host, HostConfig, HostHandle};
+use arpshield_netsim::{
+    DeviceId, Hub, PortId, PortSecurityConfig, SimTime, Simulator, Switch, SwitchConfig,
+    SwitchHandle, ViolationAction,
+};
+use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
+use arpshield_schemes::{
+    static_arp, ActiveProbeConfig, ActiveProbeMonitor, AkdApp, AlertLog, AnticapHook,
+    AntidoteHook, DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, RateConfig,
+    RateMonitor, SArpConfig, SArpHook, SchemeKind, StatefulConfig, StatefulMonitor, TarpConfig,
+    TarpHook, Ticket,
+};
+
+/// Addressing constants of the standard LAN.
+pub mod addr {
+    use super::*;
+
+    /// The /24 all scenarios use.
+    pub fn subnet() -> Ipv4Cidr {
+        Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24)
+    }
+
+    /// Gateway: `10.0.0.1`.
+    pub const GATEWAY_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    /// Gateway MAC.
+    pub fn gateway_mac() -> MacAddr {
+        MacAddr::from_index(100)
+    }
+    /// Workload host `i` (0-based): `10.0.0.(2+i)`.
+    pub fn host_ip(i: usize) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, 2 + i as u8)
+    }
+    /// Workload host `i`'s MAC.
+    pub fn host_mac(i: usize) -> MacAddr {
+        MacAddr::from_index(1000 + i as u32)
+    }
+    /// The S-ARP key distributor: `10.0.0.250`.
+    pub const AKD_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 250);
+    /// AKD MAC.
+    pub fn akd_mac() -> MacAddr {
+        MacAddr::from_index(2500)
+    }
+    /// The attacker's NIC.
+    pub fn attacker_mac() -> MacAddr {
+        MacAddr::from_index(6666)
+    }
+    /// Keypair seed for a principal (per-IP).
+    pub fn key_seed(ip: Ipv4Addr) -> u64 {
+        u64::from(ip.to_u32())
+    }
+    /// The AKD's own signing seed.
+    pub const AKD_KEY_SEED: u64 = 0xA4D;
+}
+
+/// Parameters of the standard experimental LAN.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    /// Determinism seed.
+    pub seed: u64,
+    /// Number of workload hosts (excluding gateway/AKD/attacker).
+    pub n_hosts: usize,
+    /// The defence under test.
+    pub scheme: SchemeKind,
+    /// ARP policy of unprotected hosts (schemes may override).
+    pub policy: ArpPolicy,
+    /// Dynamic ARP entry lifetime.
+    pub arp_timeout: Duration,
+    /// Host ping interval toward the gateway.
+    pub ping_interval: Duration,
+    /// Total simulated run length.
+    pub duration: Duration,
+    /// When the attacker (if any) first acts — after the warm-up in
+    /// which legitimate bindings circulate.
+    pub attack_start: Duration,
+}
+
+impl ScenarioConfig {
+    /// Defaults: 8 hosts, `Standard` policy, no scheme, 12 s run with the
+    /// attack at 3 s.
+    pub fn new(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            n_hosts: 8,
+            scheme: SchemeKind::None,
+            policy: ArpPolicy::Standard,
+            arp_timeout: Duration::from_secs(60),
+            ping_interval: Duration::from_millis(250),
+            duration: Duration::from_secs(12),
+            attack_start: Duration::from_secs(3),
+        }
+    }
+
+    /// Selects the defence scheme.
+    pub fn with_scheme(mut self, scheme: SchemeKind) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the unprotected-host ARP policy.
+    pub fn with_policy(mut self, policy: ArpPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the workload size.
+    pub fn with_hosts(mut self, n: usize) -> Self {
+        assert!(n >= 1 && n <= 200, "host count must be in 1..=200");
+        self.n_hosts = n;
+        self
+    }
+
+    /// Sets the run length.
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the ARP cache timeout.
+    pub fn with_arp_timeout(mut self, timeout: Duration) -> Self {
+        self.arp_timeout = timeout;
+        self
+    }
+}
+
+/// A constructed (not yet run) experimental LAN.
+pub struct BuiltLan {
+    /// The simulator, ready to run.
+    pub sim: Simulator,
+    /// Live switch state.
+    pub switch: SwitchHandle,
+    /// The switch's device id.
+    pub switch_id: DeviceId,
+    /// The gateway host.
+    pub gateway: HostHandle,
+    /// Workload hosts; index 0 is the designated victim.
+    pub hosts: Vec<HostHandle>,
+    /// Per-host gateway-ping statistics (same order as `hosts`).
+    pub pings: Vec<Rc<RefCell<PingStats>>>,
+    /// Scheme alerts.
+    pub alerts: AlertLog,
+    /// Attacker ground truth.
+    pub truth: GroundTruth,
+    /// The monitor fan-out hub (present for monitor-based schemes).
+    pub monitor_hub: Option<DeviceId>,
+    next_free_port: u16,
+    next_hub_port: u16,
+    config: ScenarioConfig,
+}
+
+impl std::fmt::Debug for BuiltLan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltLan")
+            .field("hosts", &self.hosts.len())
+            .field("scheme", &self.config.scheme)
+            .finish()
+    }
+}
+
+impl BuiltLan {
+    /// The scenario parameters this LAN was built from.
+    pub fn config(&self) -> ScenarioConfig {
+        self.config
+    }
+
+    /// The designated victim host (`hosts[0]`).
+    pub fn victim(&self) -> &HostHandle {
+        &self.hosts[0]
+    }
+
+    /// Attaches a device to the next free access port; returns its id.
+    pub fn attach(&mut self, device: Box<dyn arpshield_netsim::Device>) -> DeviceId {
+        self.attach_with_latency(device, Duration::from_micros(5))
+    }
+
+    /// Attaches a device with a chosen link latency.
+    ///
+    /// Attack scenarios use a shorter latency for the attacker than the
+    /// 5 µs host links: poisoning tools answer from a userspace sniff
+    /// loop with no protocol stack in the path, which is what lets them
+    /// win reply races against legitimate responders.
+    pub fn attach_with_latency(
+        &mut self,
+        device: Box<dyn arpshield_netsim::Device>,
+        latency: Duration,
+    ) -> DeviceId {
+        let id = self.sim.add_device(device);
+        let port = self.next_free_port;
+        self.next_free_port += 1;
+        self.sim
+            .connect(id, PortId(0), self.switch_id, PortId(port), latency)
+            .expect("scenario switch ran out of ports");
+        id
+    }
+
+    /// Attaches a monitor to the mirror fan-out hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario was built without a monitor hub.
+    pub fn attach_monitor(&mut self, device: Box<dyn arpshield_netsim::Device>) -> DeviceId {
+        let hub = self.monitor_hub.expect("scenario has no monitor hub");
+        let id = self.sim.add_device(device);
+        let port = self.next_hub_port;
+        self.next_hub_port += 1;
+        self.sim
+            .connect(id, PortId(0), hub, PortId(port), Duration::from_micros(5))
+            .expect("monitor hub ran out of ports");
+        id
+    }
+}
+
+/// Builds the standard LAN with `config.scheme` deployed.
+///
+/// Topology: one switch; gateway on port 0 (the DAI-trusted port), the
+/// `n_hosts` workload hosts next, every host pinging the gateway. For
+/// monitor-based schemes the switch mirrors all ingress traffic to a
+/// fan-out hub carrying the monitors. `hosts[0]` is the designated
+/// victim of any subsequently attached attack.
+pub fn build(config: ScenarioConfig) -> BuiltLan {
+    let alerts = AlertLog::new();
+    let truth = GroundTruth::new();
+    let scheme = config.scheme;
+
+    let needs_monitor = matches!(
+        scheme,
+        SchemeKind::Passive
+            | SchemeKind::ActiveProbe
+            | SchemeKind::Stateful
+            | SchemeKind::Hybrid
+            | SchemeKind::RateMonitor
+    );
+    let ports = config.n_hosts + 12;
+    let mirror_port = (ports - 1) as u16;
+
+    // --- Switch ---
+    let mut switch_config = SwitchConfig {
+        ports,
+        cam_capacity: 1024,
+        cam_aging: Duration::from_secs(300),
+        mirror_to: needs_monitor.then_some(PortId(mirror_port)),
+        ..Default::default()
+    };
+    if scheme == SchemeKind::PortSecurity {
+        switch_config.port_security = Some(PortSecurityConfig {
+            max_macs_per_port: 2,
+            violation: ViolationAction::ShutdownPort,
+        });
+    }
+    let mut sim = Simulator::new(config.seed);
+    let (mut switch, switch_handle) = Switch::new("sw", switch_config);
+
+    // --- DAI inspector (installed before the switch is boxed) ---
+    // Trusted ports: the gateway's (0) and the first expansion port,
+    // reserved for trusted infrastructure (benign scenarios attach their
+    // DHCP server there; attack scenarios put the passive sampler there,
+    // which transmits nothing).
+    let infrastructure_port = PortId(1 + config.n_hosts as u16);
+    if scheme == SchemeKind::Dai {
+        let mut dai_config = DaiConfig::new([PortId(0), infrastructure_port])
+            .with_static(addr::GATEWAY_IP, addr::gateway_mac());
+        for i in 0..config.n_hosts {
+            dai_config = dai_config.with_static(addr::host_ip(i), addr::host_mac(i));
+        }
+        switch.set_inspector(Box::new(DaiInspector::new(dai_config, alerts.clone())));
+    }
+    let switch_id = sim.add_device(Box::new(switch));
+
+    // --- Host policy & scheme-wide resources ---
+    let host_policy = match scheme {
+        SchemeKind::StaticArp | SchemeKind::SArp | SchemeKind::Tarp => ArpPolicy::StaticOnly,
+        _ => config.policy,
+    };
+    // TARP provisioning: the LTA issues every legitimate station a
+    // long-lived ticket; hosts know only the LTA public key.
+    let tarp_lta = (scheme == SchemeKind::Tarp).then(|| KeyPair::from_seed(0x17A));
+    let sarp_resources = (scheme == SchemeKind::SArp).then(|| {
+        let registry = Rc::new(RefCell::new(Akd::new()));
+        let akd_keypair = KeyPair::from_seed(addr::AKD_KEY_SEED);
+        // Enrol every legitimate principal.
+        let enrol = |ip: Ipv4Addr| {
+            let kp = KeyPair::from_seed(addr::key_seed(ip));
+            registry.borrow_mut().register(u32::from(ip.to_u32()), kp.public_key());
+        };
+        enrol(addr::GATEWAY_IP);
+        enrol(addr::AKD_IP);
+        for i in 0..config.n_hosts {
+            enrol(addr::host_ip(i));
+        }
+        (registry, akd_keypair)
+    });
+    let sarp_hook = |ip: Ipv4Addr, local: bool| -> Box<SArpHook> {
+        let (registry, akd_keypair) = sarp_resources.as_ref().unwrap();
+        Box::new(SArpHook::new(
+            SArpConfig {
+                keypair: KeyPair::from_seed(addr::key_seed(ip)),
+                akd_ip: addr::AKD_IP,
+                akd_mac: addr::akd_mac(),
+                akd_key: akd_keypair.public_key(),
+                max_age: Duration::from_secs(5),
+                local_akd: local.then(|| Rc::clone(registry)),
+                unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
+            },
+            alerts.clone(),
+        ))
+    };
+    let add_host_hooks = |host: &mut Host, ip: Ipv4Addr, mac: MacAddr| match scheme {
+        SchemeKind::Anticap => host.add_hook(Box::new(AnticapHook::new(alerts.clone()))),
+        SchemeKind::Antidote => host.add_hook(Box::new(AntidoteHook::new(alerts.clone()))),
+        SchemeKind::SArp => host.add_hook(sarp_hook(ip, false)),
+        SchemeKind::Tarp => {
+            let lta = tarp_lta.as_ref().unwrap();
+            host.add_hook(Box::new(TarpHook::new(
+                TarpConfig {
+                    ticket: Ticket::issue(lta, ip, mac, SimTime::from_secs(86_400)),
+                    lta_key: lta.public_key(),
+                    unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
+                },
+                alerts.clone(),
+            )));
+        }
+        _ => {}
+    };
+
+    // --- Gateway (port 0) ---
+    let (mut gateway, gateway_handle) = Host::new(
+        HostConfig::static_ip("gw", addr::gateway_mac(), addr::GATEWAY_IP, addr::subnet())
+            .with_policy(host_policy)
+            .with_arp_timeout(config.arp_timeout),
+    );
+    add_host_hooks(&mut gateway, addr::GATEWAY_IP, addr::gateway_mac());
+    let gw_id = sim.add_device(Box::new(gateway));
+    sim.connect(gw_id, PortId(0), switch_id, PortId(0), Duration::from_micros(5)).unwrap();
+
+    // --- Workload hosts (ports 1..=n) ---
+    let mut hosts = Vec::with_capacity(config.n_hosts);
+    let mut pings = Vec::with_capacity(config.n_hosts);
+    for i in 0..config.n_hosts {
+        let ip = addr::host_ip(i);
+        let (mut host, handle) = Host::new(
+            HostConfig::static_ip(format!("h{i}"), addr::host_mac(i), ip, addr::subnet())
+                .with_policy(host_policy)
+                .with_arp_timeout(config.arp_timeout),
+        );
+        add_host_hooks(&mut host, ip, addr::host_mac(i));
+        let (ping, ping_stats) = PingApp::new(addr::GATEWAY_IP, config.ping_interval);
+        host.add_app(Box::new(ping));
+        let id = sim.add_device(Box::new(host));
+        sim.connect(id, PortId(0), switch_id, PortId(1 + i as u16), Duration::from_micros(5))
+            .unwrap();
+        hosts.push(handle);
+        pings.push(ping_stats);
+    }
+    let mut next_free_port = 1 + config.n_hosts as u16;
+
+    // --- AKD host (S-ARP only) ---
+    if let Some((registry, akd_keypair)) = &sarp_resources {
+        let (mut akd_host, _) = Host::new(
+            HostConfig::static_ip("akd", addr::akd_mac(), addr::AKD_IP, addr::subnet())
+                .with_policy(ArpPolicy::StaticOnly)
+                .with_arp_timeout(config.arp_timeout),
+        );
+        akd_host.add_hook(sarp_hook(addr::AKD_IP, true));
+        akd_host.add_app(Box::new(AkdApp::new(
+            Rc::clone(registry),
+            akd_keypair.clone(),
+            alerts.clone(),
+        )));
+        let id = sim.add_device(Box::new(akd_host));
+        sim.connect(id, PortId(0), switch_id, PortId(next_free_port), Duration::from_micros(5))
+            .unwrap();
+        next_free_port += 1;
+    }
+
+    // --- Static entries ---
+    if scheme == SchemeKind::StaticArp {
+        let mut bindings: Vec<(Ipv4Addr, MacAddr)> =
+            vec![(addr::GATEWAY_IP, addr::gateway_mac())];
+        for i in 0..config.n_hosts {
+            bindings.push((addr::host_ip(i), addr::host_mac(i)));
+        }
+        static_arp(&gateway_handle, &bindings);
+        for handle in &hosts {
+            static_arp(handle, &bindings);
+        }
+    }
+
+    // --- Monitor fan-out hub + monitors ---
+    let mut monitor_hub = None;
+    let mut next_hub_port = 0u16;
+    if needs_monitor {
+        let hub_id = sim.add_device(Box::new(Hub::new("monitor-hub", 6)));
+        sim.connect(hub_id, PortId(0), switch_id, PortId(mirror_port), Duration::from_micros(2))
+            .unwrap();
+        monitor_hub = Some(hub_id);
+        next_hub_port = 1;
+        let mut attach_monitor = |dev: Box<dyn arpshield_netsim::Device>| {
+            let id = sim.add_device(dev);
+            sim.connect(id, PortId(0), hub_id, PortId(next_hub_port), Duration::from_micros(2))
+                .unwrap();
+            next_hub_port += 1;
+        };
+        match scheme {
+            SchemeKind::Passive => attach_monitor(Box::new(PassiveMonitor::new(
+                PassiveConfig::default(),
+                alerts.clone(),
+            ))),
+            SchemeKind::Stateful => attach_monitor(Box::new(StatefulMonitor::new(
+                StatefulConfig::default(),
+                alerts.clone(),
+            ))),
+            SchemeKind::ActiveProbe => attach_monitor(Box::new(ActiveProbeMonitor::new(
+                ActiveProbeConfig::new(MacAddr::from_index(9000)),
+                alerts.clone(),
+            ))),
+            SchemeKind::RateMonitor => attach_monitor(Box::new(RateMonitor::new(
+                RateConfig::default(),
+                alerts.clone(),
+            ))),
+            SchemeKind::Hybrid => {
+                attach_monitor(Box::new(StatefulMonitor::new(
+                    StatefulConfig::default(),
+                    alerts.clone(),
+                )));
+                attach_monitor(Box::new(ActiveProbeMonitor::new(
+                    ActiveProbeConfig::new(MacAddr::from_index(9000)),
+                    alerts.clone(),
+                )));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    BuiltLan {
+        sim,
+        switch: switch_handle,
+        switch_id,
+        gateway: gateway_handle,
+        hosts,
+        pings,
+        alerts,
+        truth,
+        monitor_hub,
+        next_free_port,
+        next_hub_port,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arpshield_netsim::SimTime;
+
+    #[test]
+    fn baseline_lan_runs_and_pings_flow() {
+        let mut lan = build(ScenarioConfig::new(1));
+        lan.sim.run_until(SimTime::from_secs(5));
+        for (i, ping) in lan.pings.iter().enumerate() {
+            let p = ping.borrow();
+            assert!(p.sent > 10, "host {i} sent {}", p.sent);
+            assert!(
+                p.received as f64 / p.sent as f64 > 0.95,
+                "host {i} delivery {}/{}",
+                p.received,
+                p.sent
+            );
+        }
+        assert!(lan.alerts.is_empty());
+    }
+
+    #[test]
+    fn every_scheme_deploys_and_stays_quiet_when_benign() {
+        for scheme in SchemeKind::all() {
+            let mut lan = build(ScenarioConfig::new(2).with_scheme(scheme).with_hosts(4));
+            lan.sim.run_until(SimTime::from_secs(6));
+            let p = lan.pings[0].borrow();
+            assert!(
+                p.received as f64 / p.sent.max(1) as f64 > 0.9,
+                "{scheme}: victim connectivity broken ({}/{})",
+                p.received,
+                p.sent
+            );
+            assert!(
+                lan.alerts.is_empty(),
+                "{scheme}: false positives on benign traffic: {:?}",
+                lan.alerts.alerts()
+            );
+        }
+    }
+
+    #[test]
+    fn static_arp_lan_sends_no_arp() {
+        let mut lan = build(ScenarioConfig::new(3).with_scheme(SchemeKind::StaticArp).with_hosts(3));
+        lan.sim.run_until(SimTime::from_secs(5));
+        for h in &lan.hosts {
+            assert_eq!(h.stats.borrow().arp_requests_sent, 0);
+        }
+    }
+
+    #[test]
+    fn attach_uses_free_ports() {
+        let mut lan = build(ScenarioConfig::new(4).with_hosts(2));
+        struct Dummy;
+        impl arpshield_netsim::Device for Dummy {
+            fn name(&self) -> &str {
+                "dummy"
+            }
+            fn port_count(&self) -> usize {
+                1
+            }
+            fn on_frame(&mut self, _: &mut arpshield_netsim::DeviceCtx<'_>, _: PortId, _: &[u8]) {}
+        }
+        let a = lan.attach(Box::new(Dummy));
+        let b = lan.attach(Box::new(Dummy));
+        assert_ne!(a, b);
+    }
+}

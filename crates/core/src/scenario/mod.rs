@@ -1,0 +1,10 @@
+//! Scenario construction: deterministic LANs with schemes deployed and
+//! attacks or benign churn injected.
+
+mod attack;
+mod benign;
+pub mod lan;
+
+pub use attack::{AttackScenario, AttackSpec, CompletedRun};
+pub use benign::{BenignRun, BenignScenario, ChurnConfig};
+pub use lan::{BuiltLan, ScenarioConfig};

@@ -1,0 +1,78 @@
+//! Experiment T1: the scheme taxonomy table.
+
+use arpshield_schemes::{Activity, DeployCost, Mode, SchemeClass, SchemeKind};
+
+use crate::report::Table;
+
+fn class_label(c: SchemeClass) -> &'static str {
+    match c {
+        SchemeClass::HostBased => "host",
+        SchemeClass::NetworkMonitor => "network-monitor",
+        SchemeClass::SwitchBased => "switch",
+        SchemeClass::Cryptographic => "cryptographic",
+    }
+}
+
+fn mode_label(m: Mode) -> &'static str {
+    match m {
+        Mode::Detection => "detect",
+        Mode::Prevention => "prevent",
+        Mode::Both => "detect+prevent",
+    }
+}
+
+fn activity_label(a: Activity) -> &'static str {
+    match a {
+        Activity::Passive => "passive",
+        Activity::Active => "active",
+    }
+}
+
+fn cost_label(c: DeployCost) -> &'static str {
+    match c {
+        DeployCost::Low => "low",
+        DeployCost::Medium => "medium",
+        DeployCost::High => "high",
+    }
+}
+
+/// Builds the taxonomy table (T1) from the scheme descriptors.
+pub fn table() -> Table {
+    let mut t = Table::new(
+        "T1: taxonomy of ARP-poisoning defence schemes",
+        &["scheme", "exemplar", "class", "mode", "activity", "deploy-cost", "summary"],
+    );
+    for kind in SchemeKind::all() {
+        let d = kind.descriptor();
+        t.row([
+            d.name,
+            d.exemplar,
+            class_label(d.class),
+            mode_label(d.mode),
+            activity_label(d.activity),
+            cost_label(d.cost),
+            d.summary,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_scheme() {
+        let t = table();
+        assert_eq!(t.len(), SchemeKind::all().len());
+    }
+
+    #[test]
+    fn key_claims_present() {
+        let text = table().render();
+        assert!(text.contains("S-ARP"));
+        assert!(text.contains("arpwatch"));
+        assert!(text.contains("cryptographic"));
+        assert!(text.contains("detect+prevent"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Crypto errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from signature verification and key distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The signature did not verify against the message and public key.
+    InvalidSignature,
+    /// The signature bytes are not a well-formed signature.
+    MalformedSignature,
+    /// The AKD has no key registered for the requested principal.
+    UnknownPrincipal(u32),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::MalformedSignature => write!(f, "malformed signature encoding"),
+            CryptoError::UnknownPrincipal(id) => {
+                write!(f, "no key registered for principal {id:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CryptoError::InvalidSignature.to_string().contains("failed"));
+        assert!(CryptoError::UnknownPrincipal(0x0a000001).to_string().contains("0x0a000001"));
+        assert!(CryptoError::MalformedSignature.to_string().contains("malformed"));
+    }
+}

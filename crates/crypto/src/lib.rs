@@ -1,0 +1,53 @@
+//! Educational cryptography substrate for the S-ARP scheme.
+//!
+//! S-ARP (Bruschi, Ornaghi & Rosti, 2003) authenticates ARP replies with
+//! digital signatures whose public keys are served by an Authoritative Key
+//! Distributor (AKD). Reproducing that scheme needs a hash, a signature,
+//! and a key registry — and the reproduction rules allow only the
+//! offline-available crates, none of which provide cryptography. So this
+//! crate implements, from scratch:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 (passes the standard test vectors),
+//! * [`hmac_sha256`] — RFC 2104 HMAC (passes the RFC 4231 vectors),
+//! * [`field`] — arithmetic modulo the Mersenne prime `2^127 - 1`,
+//! * Schnorr signatures ([`KeyPair`]) with deterministic (RFC 6979-style)
+//!   nonces,
+//! * [`Akd`] — the key distributor.
+//!
+//! # Security disclaimer
+//!
+//! A 127-bit discrete-log group is **not** a secure parameter choice; it is
+//! sized to exercise the exact S-ARP code path (sign → attach → verify →
+//! key fetch) with honest asymmetric-crypto cost *shape*, inside a
+//! simulator. Do not reuse this crate for real security purposes.
+//!
+//! # Example
+//!
+//! ```rust
+//! use arpshield_crypto::{KeyPair, Akd};
+//!
+//! let alice = KeyPair::from_seed(1);
+//! let mut akd = Akd::new();
+//! akd.register(0x0a000001, alice.public_key());
+//!
+//! let sig = alice.sign(b"10.0.0.1 is-at 02:00:00:00:00:01");
+//! let key = akd.lookup(0x0a000001).unwrap();
+//! assert!(key.verify(b"10.0.0.1 is-at 02:00:00:00:00:01", &sig).is_ok());
+//! assert!(key.verify(b"10.0.0.1 is-at 02:00:00:00:00:99", &sig).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod akd;
+pub mod field;
+mod error;
+mod hmac;
+mod schnorr;
+mod sha256;
+
+pub use akd::Akd;
+pub use error::CryptoError;
+pub use hmac::hmac_sha256;
+pub use schnorr::{KeyPair, PublicKey, Signature, SIGNATURE_LEN};
+pub use sha256::{sha256, Sha256};

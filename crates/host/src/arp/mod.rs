@@ -1,0 +1,9 @@
+//! ARP cache, acceptance policies, and the pending-resolution queue.
+
+mod cache;
+mod policy;
+mod resolver;
+
+pub use cache::{ArpCache, ArpEntry, EntryOrigin};
+pub use policy::{AdmitContext, ArpPolicy, CacheVerdict};
+pub(crate) use resolver::{PendingPacket, Resolver};

@@ -1,0 +1,213 @@
+//! ARP acceptance policies — the axis of the susceptibility matrix.
+//!
+//! Operating systems differ in *which* ARP packets may create or update
+//! cache entries, and those differences decide which poisoning variants
+//! succeed against an unprotected host. The four policies below span the
+//! space the literature distinguishes, from fully promiscuous learning to
+//! static-only.
+
+use arpshield_packet::ArpPacket;
+
+/// Facts about an incoming ARP packet relative to the receiving host,
+/// gathered by the stack and handed to the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitContext {
+    /// A (live or expired) cache entry for the sender IP already exists.
+    pub have_entry: bool,
+    /// This host has an outstanding request for the sender IP.
+    pub outstanding_request: bool,
+    /// The packet is addressed to this host (request for our IP, or reply
+    /// whose target protocol address is ours).
+    pub addressed_to_us: bool,
+    /// The packet is a reply (`false` = request).
+    pub is_reply: bool,
+}
+
+/// What the policy allows the cache to do with the packet's sender
+/// binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheVerdict {
+    /// Create a new entry or update an existing one.
+    CreateOrUpdate,
+    /// Update the binding only if an entry already exists.
+    UpdateOnly,
+    /// Do not touch the cache.
+    Ignore,
+}
+
+/// The acceptance policy of a host's ARP implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArpPolicy {
+    /// Learn from *everything*: any sniffed request or reply creates or
+    /// updates an entry. The most permissive behaviour (and the easiest
+    /// to poison); some embedded stacks behave this way.
+    Promiscuous,
+    /// The classic BSD/Linux-style behaviour: any ARP *updates* an
+    /// existing entry, but new entries are created only from packets
+    /// addressed to us or replies we solicited.
+    #[default]
+    Standard,
+    /// Anticap-style hardened kernel: replies are accepted only when this
+    /// host has an outstanding request for that IP ("no unsolicited
+    /// replies"), and requests may only refresh existing entries when
+    /// addressed to us.
+    NoUnsolicited,
+    /// Never learn dynamically; only static entries resolve. (The
+    /// prevention scheme with unbounded management cost.)
+    StaticOnly,
+}
+
+impl ArpPolicy {
+    /// Decides what the cache may do with the sender binding of `arp`.
+    pub fn admit(&self, arp: &ArpPacket, ctx: AdmitContext) -> CacheVerdict {
+        // RFC 5227 probes carry a zero sender IP and must never create
+        // bindings under any policy.
+        if arp.sender_ip.is_unspecified() {
+            return CacheVerdict::Ignore;
+        }
+        match self {
+            ArpPolicy::Promiscuous => CacheVerdict::CreateOrUpdate,
+            ArpPolicy::Standard => {
+                if ctx.addressed_to_us || (ctx.is_reply && ctx.outstanding_request) {
+                    CacheVerdict::CreateOrUpdate
+                } else if ctx.have_entry {
+                    CacheVerdict::UpdateOnly
+                } else {
+                    CacheVerdict::Ignore
+                }
+            }
+            ArpPolicy::NoUnsolicited => {
+                if ctx.is_reply {
+                    if ctx.outstanding_request {
+                        CacheVerdict::CreateOrUpdate
+                    } else {
+                        CacheVerdict::Ignore
+                    }
+                } else if ctx.addressed_to_us && ctx.have_entry {
+                    CacheVerdict::UpdateOnly
+                } else {
+                    CacheVerdict::Ignore
+                }
+            }
+            ArpPolicy::StaticOnly => CacheVerdict::Ignore,
+        }
+    }
+
+    /// All policies, in susceptibility order, for matrix experiments.
+    pub fn all() -> [ArpPolicy; 4] {
+        [
+            ArpPolicy::Promiscuous,
+            ArpPolicy::Standard,
+            ArpPolicy::NoUnsolicited,
+            ArpPolicy::StaticOnly,
+        ]
+    }
+
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArpPolicy::Promiscuous => "promiscuous",
+            ArpPolicy::Standard => "standard",
+            ArpPolicy::NoUnsolicited => "no-unsolicited",
+            ArpPolicy::StaticOnly => "static-only",
+        }
+    }
+}
+
+impl std::fmt::Display for ArpPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arpshield_packet::{ArpOp, Ipv4Addr, MacAddr};
+
+    fn reply() -> ArpPacket {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_index(9),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 9),
+            target_mac: MacAddr::from_index(1),
+            target_ip: Ipv4Addr::new(10, 0, 0, 1),
+        }
+    }
+
+    fn request() -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::from_index(9),
+            Ipv4Addr::new(10, 0, 0, 9),
+            Ipv4Addr::new(10, 0, 0, 1),
+        )
+    }
+
+    fn ctx(have: bool, outstanding: bool, to_us: bool, is_reply: bool) -> AdmitContext {
+        AdmitContext {
+            have_entry: have,
+            outstanding_request: outstanding,
+            addressed_to_us: to_us,
+            is_reply,
+        }
+    }
+
+    #[test]
+    fn promiscuous_accepts_everything() {
+        let p = ArpPolicy::Promiscuous;
+        assert_eq!(p.admit(&reply(), ctx(false, false, false, true)), CacheVerdict::CreateOrUpdate);
+        assert_eq!(p.admit(&request(), ctx(false, false, false, false)), CacheVerdict::CreateOrUpdate);
+    }
+
+    #[test]
+    fn standard_creates_only_when_addressed_or_solicited() {
+        let p = ArpPolicy::Standard;
+        // Unsolicited reply to someone else, no entry: ignored.
+        assert_eq!(p.admit(&reply(), ctx(false, false, false, true)), CacheVerdict::Ignore);
+        // Same but an entry exists: update allowed (the classic weakness).
+        assert_eq!(p.admit(&reply(), ctx(true, false, false, true)), CacheVerdict::UpdateOnly);
+        // Solicited reply: create.
+        assert_eq!(p.admit(&reply(), ctx(false, true, true, true)), CacheVerdict::CreateOrUpdate);
+        // Request addressed to us: create (we'll likely answer it anyway).
+        assert_eq!(p.admit(&request(), ctx(false, false, true, false)), CacheVerdict::CreateOrUpdate);
+        // Request for someone else, no entry: ignore.
+        assert_eq!(p.admit(&request(), ctx(false, false, false, false)), CacheVerdict::Ignore);
+    }
+
+    #[test]
+    fn no_unsolicited_requires_outstanding_request() {
+        let p = ArpPolicy::NoUnsolicited;
+        assert_eq!(p.admit(&reply(), ctx(true, false, true, true)), CacheVerdict::Ignore);
+        assert_eq!(p.admit(&reply(), ctx(false, true, true, true)), CacheVerdict::CreateOrUpdate);
+        // Requests can refresh but never create.
+        assert_eq!(p.admit(&request(), ctx(true, false, true, false)), CacheVerdict::UpdateOnly);
+        assert_eq!(p.admit(&request(), ctx(false, false, true, false)), CacheVerdict::Ignore);
+    }
+
+    #[test]
+    fn static_only_ignores_all() {
+        let p = ArpPolicy::StaticOnly;
+        assert_eq!(p.admit(&reply(), ctx(true, true, true, true)), CacheVerdict::Ignore);
+        assert_eq!(p.admit(&request(), ctx(true, true, true, false)), CacheVerdict::Ignore);
+    }
+
+    #[test]
+    fn probes_never_create_bindings() {
+        let probe = ArpPacket::request(
+            MacAddr::from_index(9),
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        for p in ArpPolicy::all() {
+            assert_eq!(p.admit(&probe, ctx(true, true, true, false)), CacheVerdict::Ignore);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            ArpPolicy::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(ArpPolicy::Standard.to_string(), "standard");
+    }
+}

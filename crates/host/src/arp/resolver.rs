@@ -1,0 +1,170 @@
+//! The pending-resolution queue: packets waiting for an ARP answer.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use arpshield_netsim::SimTime;
+use arpshield_packet::{IpProtocol, Ipv4Addr};
+
+/// An L3 payload parked until its next hop resolves.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingPacket {
+    pub dst_ip: Ipv4Addr,
+    pub protocol: IpProtocol,
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    packets: Vec<PendingPacket>,
+    retries_left: u32,
+    first_requested: SimTime,
+}
+
+/// Tracks outstanding ARP requests and the packets queued behind them.
+#[derive(Debug)]
+pub(crate) struct Resolver {
+    pending: HashMap<Ipv4Addr, Pending>,
+    pub retransmit_interval: Duration,
+    pub max_retries: u32,
+    pub max_queue_per_ip: usize,
+}
+
+impl Resolver {
+    pub fn new() -> Self {
+        Resolver {
+            pending: HashMap::new(),
+            retransmit_interval: Duration::from_secs(1),
+            max_retries: 3,
+            max_queue_per_ip: 16,
+        }
+    }
+
+    /// True when a request for `ip` is outstanding.
+    pub fn is_outstanding(&self, ip: Ipv4Addr) -> bool {
+        self.pending.contains_key(&ip)
+    }
+
+    /// Queues a packet behind the resolution of `next_hop`. Returns `true`
+    /// if this is a *new* resolution (caller must transmit the first ARP
+    /// request and arm the retransmit timer).
+    pub fn enqueue(&mut self, now: SimTime, next_hop: Ipv4Addr, packet: PendingPacket) -> bool {
+        match self.pending.get_mut(&next_hop) {
+            Some(p) => {
+                if p.packets.len() < self.max_queue_per_ip {
+                    p.packets.push(packet);
+                }
+                false
+            }
+            None => {
+                self.pending.insert(
+                    next_hop,
+                    Pending {
+                        packets: vec![packet],
+                        retries_left: self.max_retries,
+                        first_requested: now,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Registers an outstanding request with nothing queued behind it
+    /// (used by gratuitous refreshes and probing schemes). Returns `true`
+    /// when newly registered.
+    pub fn register_probe(&mut self, now: SimTime, ip: Ipv4Addr) -> bool {
+        if self.pending.contains_key(&ip) {
+            return false;
+        }
+        self.pending.insert(
+            ip,
+            Pending { packets: Vec::new(), retries_left: self.max_retries, first_requested: now },
+        );
+        true
+    }
+
+    /// Completes a resolution, returning the queued packets and the time
+    /// the first request went out (for latency accounting).
+    pub fn complete(&mut self, ip: Ipv4Addr) -> Option<(Vec<PendingPacket>, SimTime)> {
+        self.pending.remove(&ip).map(|p| (p.packets, p.first_requested))
+    }
+
+    /// Burns one retry for `ip`. Returns `Some(true)` if a retransmission
+    /// should be sent, `Some(false)` if the resolution is exhausted (and
+    /// has been dropped), `None` if nothing was outstanding.
+    pub fn tick_retry(&mut self, ip: Ipv4Addr) -> Option<bool> {
+        let p = self.pending.get_mut(&ip)?;
+        if p.retries_left == 0 {
+            self.pending.remove(&ip);
+            return Some(false);
+        }
+        p.retries_left -= 1;
+        Some(true)
+    }
+
+    /// Number of in-flight resolutions.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Packets currently queued behind the resolution of `ip`.
+    pub fn queued_len(&self, ip: Ipv4Addr) -> usize {
+        self.pending.get(&ip).map(|p| p.packets.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 7);
+
+    fn pkt(n: u8) -> PendingPacket {
+        PendingPacket { dst_ip: IP, protocol: IpProtocol::Udp, payload: vec![n] }
+    }
+
+    #[test]
+    fn first_enqueue_triggers_request() {
+        let mut r = Resolver::new();
+        assert!(r.enqueue(SimTime::ZERO, IP, pkt(1)));
+        assert!(!r.enqueue(SimTime::ZERO, IP, pkt(2)));
+        assert!(r.is_outstanding(IP));
+        let (packets, first) = r.complete(IP).unwrap();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(first, SimTime::ZERO);
+        assert!(!r.is_outstanding(IP));
+    }
+
+    #[test]
+    fn queue_is_bounded() {
+        let mut r = Resolver::new();
+        for n in 0..40 {
+            r.enqueue(SimTime::ZERO, IP, pkt(n));
+        }
+        let (packets, _) = r.complete(IP).unwrap();
+        assert_eq!(packets.len(), r.max_queue_per_ip);
+    }
+
+    #[test]
+    fn retries_exhaust() {
+        let mut r = Resolver::new();
+        r.enqueue(SimTime::ZERO, IP, pkt(1));
+        assert_eq!(r.tick_retry(IP), Some(true));
+        assert_eq!(r.tick_retry(IP), Some(true));
+        assert_eq!(r.tick_retry(IP), Some(true));
+        assert_eq!(r.tick_retry(IP), Some(false)); // exhausted, dropped
+        assert_eq!(r.tick_retry(IP), None);
+        assert!(!r.is_outstanding(IP));
+    }
+
+    #[test]
+    fn probe_registration() {
+        let mut r = Resolver::new();
+        assert!(r.register_probe(SimTime::ZERO, IP));
+        assert!(!r.register_probe(SimTime::ZERO, IP));
+        assert_eq!(r.outstanding(), 1);
+        let (packets, _) = r.complete(IP).unwrap();
+        assert!(packets.is_empty());
+    }
+}

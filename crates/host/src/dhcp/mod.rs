@@ -1,0 +1,7 @@
+//! DHCP client and server subsystems.
+
+mod client;
+mod server;
+
+pub use client::{DhcpClient, DhcpClientConfig, DhcpClientInfo};
+pub use server::{DhcpServer, DhcpServerConfig, DhcpServerState, Lease};

@@ -1,0 +1,143 @@
+//! The host's single network interface.
+
+use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
+
+/// Layer-2/3 configuration of a host NIC.
+///
+/// The IP configuration is optional because DHCP-managed hosts boot
+/// unconfigured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interface {
+    mac: MacAddr,
+    ip: Option<Ipv4Addr>,
+    subnet: Option<Ipv4Cidr>,
+    gateway: Option<Ipv4Addr>,
+}
+
+impl Interface {
+    /// Creates an unconfigured interface (MAC only).
+    pub fn unconfigured(mac: MacAddr) -> Self {
+        Interface { mac, ip: None, subnet: None, gateway: None }
+    }
+
+    /// Creates a statically configured interface.
+    pub fn with_static(mac: MacAddr, ip: Ipv4Addr, subnet: Ipv4Cidr) -> Self {
+        Interface { mac, ip: Some(ip), subnet: Some(subnet), gateway: None }
+    }
+
+    /// The hardware address.
+    pub fn mac(&self) -> MacAddr {
+        self.mac
+    }
+
+    /// The configured IP, if any.
+    pub fn ip(&self) -> Option<Ipv4Addr> {
+        self.ip
+    }
+
+    /// The configured subnet, if any.
+    pub fn subnet(&self) -> Option<Ipv4Cidr> {
+        self.subnet
+    }
+
+    /// The default gateway, if any.
+    pub fn gateway(&self) -> Option<Ipv4Addr> {
+        self.gateway
+    }
+
+    /// Applies an IP configuration (static setup or DHCP bind).
+    pub fn configure(&mut self, ip: Ipv4Addr, subnet: Ipv4Cidr, gateway: Option<Ipv4Addr>) {
+        self.ip = Some(ip);
+        self.subnet = Some(subnet);
+        self.gateway = gateway;
+    }
+
+    /// Drops the IP configuration (DHCP release / link reset).
+    pub fn deconfigure(&mut self) {
+        self.ip = None;
+        self.subnet = None;
+        self.gateway = None;
+    }
+
+    /// Changes the hardware address (NIC replacement scenarios).
+    pub fn set_mac(&mut self, mac: MacAddr) {
+        self.mac = mac;
+    }
+
+    /// True when `dst` is directly reachable on the local subnet (or we
+    /// have no subnet information, in which case we must try locally).
+    pub fn is_local(&self, dst: Ipv4Addr) -> bool {
+        match self.subnet {
+            Some(net) => net.contains(dst),
+            None => true,
+        }
+    }
+
+    /// The next hop toward `dst`: `dst` itself when local, else the
+    /// gateway (if configured).
+    pub fn next_hop(&self, dst: Ipv4Addr) -> Option<Ipv4Addr> {
+        if self.is_local(dst) {
+            Some(dst)
+        } else {
+            self.gateway
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface() -> Interface {
+        Interface::with_static(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24),
+        )
+    }
+
+    #[test]
+    fn static_configuration() {
+        let i = iface();
+        assert_eq!(i.ip(), Some(Ipv4Addr::new(10, 0, 0, 5)));
+        assert!(i.is_local(Ipv4Addr::new(10, 0, 0, 200)));
+        assert!(!i.is_local(Ipv4Addr::new(10, 0, 1, 1)));
+    }
+
+    #[test]
+    fn next_hop_routes_via_gateway() {
+        let mut i = iface();
+        assert_eq!(i.next_hop(Ipv4Addr::new(10, 0, 0, 9)), Some(Ipv4Addr::new(10, 0, 0, 9)));
+        assert_eq!(i.next_hop(Ipv4Addr::new(8, 8, 8, 8)), None); // no gateway
+        i.configure(
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24),
+            Some(Ipv4Addr::new(10, 0, 0, 1)),
+        );
+        assert_eq!(i.next_hop(Ipv4Addr::new(8, 8, 8, 8)), Some(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn deconfigure_clears_l3() {
+        let mut i = iface();
+        i.deconfigure();
+        assert_eq!(i.ip(), None);
+        assert_eq!(i.subnet(), None);
+        // With no subnet info, everything is attempted locally.
+        assert!(i.is_local(Ipv4Addr::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn unconfigured_boot_state() {
+        let i = Interface::unconfigured(MacAddr::from_index(7));
+        assert_eq!(i.mac(), MacAddr::from_index(7));
+        assert_eq!(i.ip(), None);
+    }
+
+    #[test]
+    fn mac_can_change() {
+        let mut i = iface();
+        i.set_mac(MacAddr::from_index(42));
+        assert_eq!(i.mac(), MacAddr::from_index(42));
+    }
+}

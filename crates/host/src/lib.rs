@@ -1,0 +1,47 @@
+//! Simulated end-host network stacks.
+//!
+//! A [`Host`] is a single-NIC station attached to the simulated LAN. It
+//! owns an ARP cache with a pluggable acceptance [`ArpPolicy`] (the axis of
+//! the paper's attack-susceptibility matrix), an IPv4 send/receive path
+//! with a pending-resolution queue, a built-in ICMP echo responder, a DHCP
+//! client and server, application workloads ([`apps`]), and hook points
+//! ([`HostHook`]) through which host-resident defence schemes (kernel
+//! policies, S-ARP agents) intercept ARP processing.
+//!
+//! All mutable state that experiments need to observe afterwards — the ARP
+//! cache, counters — is shared through a [`HostHandle`], since the
+//! simulator owns devices as trait objects.
+//!
+//! # Example
+//!
+//! ```rust
+//! use arpshield_host::{Host, HostConfig, ArpPolicy};
+//! use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
+//!
+//! let config = HostConfig::static_ip(
+//!     "alice",
+//!     MacAddr::from_index(1),
+//!     Ipv4Addr::new(10, 0, 0, 1),
+//!     Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24),
+//! ).with_policy(ArpPolicy::Standard);
+//! let (host, handle) = Host::new(config);
+//! assert_eq!(handle.iface().ip(), Some(Ipv4Addr::new(10, 0, 0, 1)));
+//! # let _ = host;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod arp;
+pub mod dhcp;
+mod hooks;
+mod iface;
+mod stack;
+mod stats;
+
+pub use arp::{ArpCache, ArpEntry, ArpPolicy, CacheVerdict, EntryOrigin};
+pub use hooks::{ArpVerdict, FrameVerdict, HostApi, HostHook};
+pub use iface::Interface;
+pub use stack::{tokens, Host, HostConfig, HostCore, HostHandle};
+pub use stats::HostStats;

@@ -1,0 +1,143 @@
+//! The device abstraction: anything attached to the simulated segment.
+
+use std::time::Duration;
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifies a device within one [`Simulator`](crate::Simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Identifies a port on a device. Hosts have a single port `PortId(0)`;
+/// switches and hubs have many.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Deferred side effects a device requests during a callback.
+#[derive(Debug, Clone)]
+pub(crate) enum Action {
+    Send { port: PortId, bytes: Vec<u8> },
+    Schedule { delay: Duration, token: u64 },
+}
+
+/// Execution context handed to every [`Device`] callback.
+///
+/// Devices never touch the simulator directly; they queue transmissions and
+/// timers through this context, which the simulator applies after the
+/// callback returns. That makes callbacks re-entrancy-free by construction.
+#[derive(Debug)]
+pub struct DeviceCtx<'a> {
+    now: SimTime,
+    device: DeviceId,
+    actions: &'a mut Vec<Action>,
+    rng: &'a mut SimRng,
+}
+
+impl<'a> DeviceCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        device: DeviceId,
+        actions: &'a mut Vec<Action>,
+        rng: &'a mut SimRng,
+    ) -> Self {
+        DeviceCtx { now, device, actions, rng }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the device being called.
+    pub fn device_id(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Queues a frame for transmission out of `port`. If the port is not
+    /// connected the frame is silently dropped (and counted in
+    /// [`WireStats`](crate::WireStats)).
+    pub fn send(&mut self, port: PortId, bytes: Vec<u8>) {
+        self.actions.push(Action::Send { port, bytes });
+    }
+
+    /// Schedules [`Device::on_timer`] with `token` after `delay`.
+    pub fn schedule_in(&mut self, delay: Duration, token: u64) {
+        self.actions.push(Action::Schedule { delay, token });
+    }
+
+    /// Deterministic randomness scoped to the whole simulation.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+/// A device attached to the simulated network.
+///
+/// Implementations are event-driven: the simulator invokes [`on_start`]
+/// once when the run begins, [`on_frame`] for every delivered frame, and
+/// [`on_timer`] for timers the device scheduled. All side effects go
+/// through the [`DeviceCtx`].
+///
+/// [`on_start`]: Device::on_start
+/// [`on_frame`]: Device::on_frame
+/// [`on_timer`]: Device::on_timer
+pub trait Device {
+    /// Human-readable name, used in traces and error messages.
+    fn name(&self) -> &str;
+
+    /// Number of ports this device exposes. Connecting to a port at or
+    /// beyond this count is rejected.
+    fn port_count(&self) -> usize;
+
+    /// Called once when the simulation starts (before any frame delivery).
+    fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for every frame delivered to one of this device's ports.
+    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, frame: &[u8]);
+
+    /// Called when a timer scheduled via [`DeviceCtx::schedule_in`] fires.
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_actions() {
+        let mut actions = Vec::new();
+        let mut rng = SimRng::new(1);
+        let mut ctx = DeviceCtx::new(SimTime::from_secs(5), DeviceId(3), &mut actions, &mut rng);
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+        assert_eq!(ctx.device_id(), DeviceId(3));
+        ctx.send(PortId(0), vec![1, 2, 3]);
+        ctx.schedule_in(Duration::from_millis(10), 42);
+        let _ = ctx.rng().next_u64();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(&actions[0], Action::Send { port: PortId(0), bytes } if bytes == &[1,2,3]));
+        assert!(matches!(&actions[1], Action::Schedule { token: 42, .. }));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(7).to_string(), "dev7");
+        assert_eq!(PortId(2).to_string(), "port2");
+    }
+}

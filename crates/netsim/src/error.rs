@@ -1,0 +1,64 @@
+//! Topology construction errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::device::{DeviceId, PortId};
+
+/// Error building or mutating a simulated topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetsimError {
+    /// The referenced device id does not exist.
+    UnknownDevice(DeviceId),
+    /// The referenced port is at or beyond the device's port count.
+    BadPort {
+        /// Device whose port was referenced.
+        device: DeviceId,
+        /// The out-of-range port.
+        port: PortId,
+        /// Number of ports the device actually has.
+        count: usize,
+    },
+    /// The port already has a link attached.
+    PortInUse {
+        /// Device whose port is occupied.
+        device: DeviceId,
+        /// The occupied port.
+        port: PortId,
+    },
+    /// A device cannot be linked to itself.
+    SelfLink(DeviceId),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            NetsimError::BadPort { device, port, count } => {
+                write!(f, "{device} has {count} ports, {port} is out of range")
+            }
+            NetsimError::PortInUse { device, port } => {
+                write!(f, "{device} {port} already has a link")
+            }
+            NetsimError::SelfLink(d) => write!(f, "cannot link {d} to itself"),
+        }
+    }
+}
+
+impl Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_parties() {
+        let e = NetsimError::BadPort { device: DeviceId(1), port: PortId(9), count: 4 };
+        assert_eq!(e.to_string(), "dev1 has 4 ports, port9 is out of range");
+        assert!(NetsimError::PortInUse { device: DeviceId(0), port: PortId(0) }
+            .to_string()
+            .contains("already"));
+        assert!(NetsimError::SelfLink(DeviceId(2)).to_string().contains("itself"));
+        assert!(NetsimError::UnknownDevice(DeviceId(5)).to_string().contains("dev5"));
+    }
+}

@@ -1,0 +1,464 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
+use crate::error::NetsimError;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TracedFrame};
+
+/// Aggregate counters over everything that crossed the wire.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames delivered over links.
+    pub frames: u64,
+    /// Bytes delivered over links.
+    pub bytes: u64,
+    /// Frames sent out of unconnected ports (dropped).
+    pub dropped_no_link: u64,
+    /// Timer events dispatched.
+    pub timers: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Endpoint {
+    peer: DeviceId,
+    peer_port: PortId,
+    latency: Duration,
+}
+
+#[derive(Debug, Clone)]
+enum EventKind {
+    Deliver { dst: DeviceId, port: PortId, bytes: Vec<u8>, src: DeviceId, src_port: PortId, sent_at: SimTime },
+    Timer { dst: DeviceId, token: u64 },
+}
+
+#[derive(Debug)]
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic single-segment network simulator.
+///
+/// Add devices, connect their ports with latencied links, and run. Events
+/// with equal timestamps are dispatched in insertion order, so a run is a
+/// pure function of its seed and topology.
+#[derive(Debug)]
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    started: bool,
+    devices: Vec<Box<dyn Device>>,
+    links: HashMap<(DeviceId, PortId), Endpoint>,
+    queue: BinaryHeap<Reverse<Event>>,
+    rng: SimRng,
+    trace: Option<Trace>,
+    stats: WireStats,
+}
+
+impl std::fmt::Debug for dyn Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Device({})", self.name())
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulation seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            started: false,
+            devices: Vec::new(),
+            links: HashMap::new(),
+            queue: BinaryHeap::new(),
+            rng: SimRng::new(seed),
+            trace: None,
+            stats: WireStats::default(),
+        }
+    }
+
+    /// Attaches a device and returns its id.
+    pub fn add_device(&mut self, device: Box<dyn Device>) -> DeviceId {
+        let id = DeviceId(self.devices.len());
+        self.devices.push(device);
+        id
+    }
+
+    /// Connects two device ports with a full-duplex link of the given
+    /// one-way latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetsimError`] if either endpoint is unknown, the port is
+    /// out of range or already linked, or the two endpoints are the same
+    /// device.
+    pub fn connect(
+        &mut self,
+        a: DeviceId,
+        a_port: PortId,
+        b: DeviceId,
+        b_port: PortId,
+        latency: Duration,
+    ) -> Result<(), NetsimError> {
+        if a == b {
+            return Err(NetsimError::SelfLink(a));
+        }
+        for (dev, port) in [(a, a_port), (b, b_port)] {
+            let device = self.devices.get(dev.0).ok_or(NetsimError::UnknownDevice(dev))?;
+            let count = device.port_count();
+            if usize::from(port.0) >= count {
+                return Err(NetsimError::BadPort { device: dev, port, count });
+            }
+            if self.links.contains_key(&(dev, port)) {
+                return Err(NetsimError::PortInUse { device: dev, port });
+            }
+        }
+        self.links.insert((a, a_port), Endpoint { peer: b, peer_port: b_port, latency });
+        self.links.insert((b, b_port), Endpoint { peer: a, peer_port: a_port, latency });
+        Ok(())
+    }
+
+    /// Starts recording every delivered frame into an in-memory trace.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The trace, if [`enable_trace`](Simulator::enable_trace) was called.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate wire statistics.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// Immutable access to a device, for post-run inspection.
+    pub fn device(&self, id: DeviceId) -> Option<&dyn Device> {
+        self.devices.get(id.0).map(|d| d.as_ref())
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.devices.len() {
+            let mut actions = Vec::new();
+            let id = DeviceId(i);
+            {
+                let mut ctx = DeviceCtx::new(self.now, id, &mut actions, &mut self.rng);
+                self.devices[i].on_start(&mut ctx);
+            }
+            self.apply_actions(id, actions);
+        }
+    }
+
+    fn apply_actions(&mut self, from: DeviceId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { port, bytes } => match self.links.get(&(from, port)).copied() {
+                    Some(ep) => {
+                        let at = self.now + ep.latency;
+                        self.push_event(
+                            at,
+                            EventKind::Deliver {
+                                dst: ep.peer,
+                                port: ep.peer_port,
+                                bytes,
+                                src: from,
+                                src_port: port,
+                                sent_at: self.now,
+                            },
+                        );
+                    }
+                    None => self.stats.dropped_no_link += 1,
+                },
+                Action::Schedule { delay, token } => {
+                    let at = self.now + delay;
+                    self.push_event(at, EventKind::Timer { dst: from, token });
+                }
+            }
+        }
+    }
+
+    /// Dispatches the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "event queue went backwards");
+        self.now = event.at;
+        match event.kind {
+            EventKind::Deliver { dst, port, bytes, src, src_port, sent_at } => {
+                self.stats.frames += 1;
+                self.stats.bytes += bytes.len() as u64;
+                if let Some(trace) = &mut self.trace {
+                    trace.record(TracedFrame {
+                        sent_at,
+                        src_device: src,
+                        src_port,
+                        dst_device: dst,
+                        dst_port: port,
+                        bytes: bytes.clone(),
+                    });
+                }
+                let mut actions = Vec::new();
+                {
+                    let mut ctx = DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng);
+                    self.devices[dst.0].on_frame(&mut ctx, port, &bytes);
+                }
+                self.apply_actions(dst, actions);
+            }
+            EventKind::Timer { dst, token } => {
+                self.stats.timers += 1;
+                let mut actions = Vec::new();
+                {
+                    let mut ctx = DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng);
+                    self.devices[dst.0].on_timer(&mut ctx, token);
+                }
+                self.apply_actions(dst, actions);
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains or the clock reaches `deadline`,
+    /// whichever comes first. Events scheduled beyond the deadline stay
+    /// queued; the clock is advanced to exactly `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.start();
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` past the current clock.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every received frame back out the same port after 1 ms, up to
+    /// a bounce budget encoded in the first byte.
+    struct Echo {
+        received: Vec<(SimTime, Vec<u8>)>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo { received: Vec::new() }
+        }
+    }
+
+    impl Device for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, frame: &[u8]) {
+            self.received.push((ctx.now(), frame.to_vec()));
+            if frame[0] > 0 {
+                let mut next = frame.to_vec();
+                next[0] -= 1;
+                ctx.send(port, next);
+            }
+        }
+    }
+
+    struct Kickoff {
+        budget: u8,
+    }
+
+    impl Device for Kickoff {
+        fn name(&self) -> &str {
+            "kickoff"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+            ctx.send(PortId(0), vec![self.budget]);
+        }
+        fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, frame: &[u8]) {
+            if frame[0] > 0 {
+                let mut next = frame.to_vec();
+                next[0] -= 1;
+                ctx.send(port, next);
+            }
+        }
+    }
+
+    #[test]
+    fn frames_bounce_with_latency() {
+        let mut sim = Simulator::new(1);
+        let k = sim.add_device(Box::new(Kickoff { budget: 4 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(1)).unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        // budget 4: k->e, e->k, k->e, e->k, k->e = frames at 1,2,3,4,5 ms.
+        assert_eq!(sim.wire_stats().frames, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn deadline_pauses_without_losing_events() {
+        let mut sim = Simulator::new(1);
+        let k = sim.add_device(Box::new(Kickoff { budget: 200 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(10)).unwrap();
+        sim.run_until(SimTime::from_millis(35));
+        let mid = sim.wire_stats().frames;
+        assert_eq!(mid, 3);
+        sim.run_until(SimTime::from_millis(75));
+        assert_eq!(sim.wire_stats().frames, 7);
+    }
+
+    #[test]
+    fn unconnected_port_drops_and_counts() {
+        let mut sim = Simulator::new(1);
+        let _ = sim.add_device(Box::new(Kickoff { budget: 1 }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.wire_stats().frames, 0);
+        assert_eq!(sim.wire_stats().dropped_no_link, 1);
+    }
+
+    #[test]
+    fn connect_validates_topology() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new()));
+        let b = sim.add_device(Box::new(Echo::new()));
+        assert_eq!(
+            sim.connect(a, PortId(0), a, PortId(0), Duration::ZERO),
+            Err(NetsimError::SelfLink(a))
+        );
+        assert!(matches!(
+            sim.connect(a, PortId(1), b, PortId(0), Duration::ZERO),
+            Err(NetsimError::BadPort { .. })
+        ));
+        assert!(matches!(
+            sim.connect(DeviceId(9), PortId(0), b, PortId(0), Duration::ZERO),
+            Err(NetsimError::UnknownDevice(DeviceId(9)))
+        ));
+        sim.connect(a, PortId(0), b, PortId(0), Duration::ZERO).unwrap();
+        let c = sim.add_device(Box::new(Echo::new()));
+        assert!(matches!(
+            sim.connect(a, PortId(0), c, PortId(0), Duration::ZERO),
+            Err(NetsimError::PortInUse { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_captures_frames() {
+        let mut sim = Simulator::new(1);
+        let k = sim.add_device(Box::new(Kickoff { budget: 2 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(1)).unwrap();
+        sim.enable_trace();
+        sim.run_until(SimTime::from_secs(1));
+        let trace = sim.trace().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.sent_by(k).count(), 2);
+        assert_eq!(trace.frames()[0].sent_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let k = sim.add_device(Box::new(Kickoff { budget: 50 }));
+            let e = sim.add_device(Box::new(Echo::new()));
+            sim.connect(k, PortId(0), e, PortId(0), Duration::from_micros(137)).unwrap();
+            sim.run_until(SimTime::from_secs(1));
+            (sim.wire_stats(), sim.now())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerDev {
+            fired: Vec<u64>,
+        }
+        impl Device for TimerDev {
+            fn name(&self) -> &str {
+                "timers"
+            }
+            fn port_count(&self) -> usize {
+                0
+            }
+            fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+                ctx.schedule_in(Duration::from_millis(30), 3);
+                ctx.schedule_in(Duration::from_millis(10), 1);
+                ctx.schedule_in(Duration::from_millis(20), 2);
+                // Equal timestamps dispatch in insertion order.
+                ctx.schedule_in(Duration::from_millis(10), 10);
+            }
+            fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, _: &[u8]) {}
+            fn on_timer(&mut self, _: &mut DeviceCtx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_device(Box::new(TimerDev { fired: Vec::new() }));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.wire_stats().timers, 4);
+    }
+}

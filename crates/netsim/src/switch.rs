@@ -1,0 +1,651 @@
+//! A learning Ethernet switch with a bounded CAM table, aging, fail-open
+//! behaviour, port security, port mirroring, and a pluggable frame
+//! inspector (the hook the DAI scheme uses).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Duration;
+
+use arpshield_packet::{EthernetFrame, MacAddr};
+
+use crate::device::{Device, DeviceCtx, PortId};
+use crate::time::SimTime;
+
+/// One CAM-table binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CamEntry {
+    /// Port the address was learned on.
+    pub port: PortId,
+    /// Time the entry was created or moved.
+    pub learned_at: SimTime,
+    /// Time of the most recent frame from this address.
+    pub last_seen: SimTime,
+}
+
+/// The switch's MAC-address table.
+///
+/// Capacity-bounded with inactivity aging — exactly the properties MAC
+/// flooding exploits.
+#[derive(Debug, Clone)]
+pub struct CamTable {
+    entries: HashMap<MacAddr, CamEntry>,
+    capacity: usize,
+    aging: Duration,
+}
+
+/// Result of a learning attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LearnOutcome {
+    /// Newly learned.
+    Learned,
+    /// Already present on the same port; timestamp refreshed.
+    Refreshed,
+    /// Present but on a different port; moved (station relocation or
+    /// spoofing).
+    Moved {
+        /// Port the address was previously bound to.
+        from: PortId,
+    },
+    /// Table at capacity; not learned.
+    Full,
+}
+
+impl CamTable {
+    /// Creates a table with the given capacity and aging interval.
+    pub fn new(capacity: usize, aging: Duration) -> Self {
+        CamTable { entries: HashMap::new(), capacity, aging }
+    }
+
+    /// Attempts to learn or refresh `mac` on `port` at time `now`.
+    pub fn learn(&mut self, now: SimTime, mac: MacAddr, port: PortId) -> LearnOutcome {
+        if let Some(entry) = self.entries.get_mut(&mac) {
+            entry.last_seen = now;
+            if entry.port == port {
+                return LearnOutcome::Refreshed;
+            }
+            let from = entry.port;
+            entry.port = port;
+            entry.learned_at = now;
+            return LearnOutcome::Moved { from };
+        }
+        if self.entries.len() >= self.capacity {
+            return LearnOutcome::Full;
+        }
+        self.entries.insert(mac, CamEntry { port, learned_at: now, last_seen: now });
+        LearnOutcome::Learned
+    }
+
+    /// Looks up the egress port for `mac`.
+    pub fn lookup(&self, mac: MacAddr) -> Option<PortId> {
+        self.entries.get(&mac).map(|e| e.port)
+    }
+
+    /// Evicts entries idle longer than the aging interval; returns how many
+    /// were removed.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let aging = self.aging;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| now.saturating_since(e.last_seen) < aging);
+        before - self.entries.len()
+    }
+
+    /// Number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when no more addresses can be learned.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Iterates over live `(mac, entry)` bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&MacAddr, &CamEntry)> {
+        self.entries.iter()
+    }
+}
+
+/// Behaviour when the CAM table is full and an unknown source appears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailMode {
+    /// The classic (insecure) behaviour: the frame is still forwarded, and
+    /// since its source cannot be learned the *reverse* traffic floods to
+    /// every port — the hub-like degradation MAC flooding aims for.
+    #[default]
+    FloodOpen,
+    /// The defensive behaviour: frames from unlearnable sources are dropped.
+    DropNew,
+}
+
+/// Per-port limit on learned addresses, modelling Cisco-style
+/// `port security`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSecurityConfig {
+    /// Maximum distinct source addresses allowed per access port.
+    pub max_macs_per_port: usize,
+    /// What to do when a port exceeds its limit.
+    pub violation: ViolationAction,
+}
+
+/// Action taken on a port-security violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationAction {
+    /// Drop the offending frame, keep the port up (restrict mode).
+    DropFrame,
+    /// Err-disable the port: all subsequent traffic on it is dropped.
+    ShutdownPort,
+}
+
+/// Verdict returned by a [`FrameInspector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InspectVerdict {
+    /// Forward normally.
+    Permit,
+    /// Drop the frame; `reason` is recorded in switch stats.
+    Deny {
+        /// Human-readable drop reason.
+        reason: String,
+    },
+}
+
+/// A pluggable ingress filter, invoked on every frame before learning and
+/// forwarding. Dynamic ARP Inspection is implemented as one of these in
+/// `arpshield-schemes`.
+pub trait FrameInspector {
+    /// Inspects a frame arriving on `ingress`; returning
+    /// [`InspectVerdict::Deny`] drops it.
+    fn inspect(&mut self, now: SimTime, ingress: PortId, frame: &EthernetFrame) -> InspectVerdict;
+}
+
+/// Counters exposed by a running switch.
+#[derive(Debug, Default, Clone)]
+pub struct SwitchStats {
+    /// Frames forwarded to exactly one known port.
+    pub forwarded: u64,
+    /// Frames flooded to all ports (broadcast/multicast/unknown dst).
+    pub flooded: u64,
+    /// Frames dropped by port security.
+    pub dropped_security: u64,
+    /// Frames dropped by the inspector, with reasons.
+    pub dropped_inspector: u64,
+    /// Most recent inspector drop reasons (bounded ring of 32).
+    pub inspector_reasons: Vec<String>,
+    /// Times a learn attempt found the table full.
+    pub cam_full_events: u64,
+    /// Ports currently err-disabled by port security.
+    pub shutdown_ports: HashSet<PortId>,
+    /// Port-security violations observed.
+    pub security_violations: u64,
+}
+
+/// Shared inspection handle into a live switch.
+///
+/// The simulator owns devices as `Box<dyn Device>`; the handle gives
+/// experiments read access to the CAM table and counters without
+/// downcasting. The simulation is single-threaded, so `Rc<RefCell>` is the
+/// right tool.
+#[derive(Debug, Clone)]
+pub struct SwitchHandle {
+    /// The live CAM table.
+    pub cam: Rc<RefCell<CamTable>>,
+    /// Live counters.
+    pub stats: Rc<RefCell<SwitchStats>>,
+}
+
+/// Switch construction parameters.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Number of ports.
+    pub ports: usize,
+    /// CAM capacity (the MikroTik hAP lite class of device holds 1024).
+    pub cam_capacity: usize,
+    /// CAM inactivity aging.
+    pub cam_aging: Duration,
+    /// Full-table behaviour.
+    pub fail_mode: FailMode,
+    /// Copy every ingress frame to this port (SPAN/mirror). The mirror
+    /// port is excluded from normal flooding.
+    pub mirror_to: Option<PortId>,
+    /// Optional per-port MAC limit.
+    pub port_security: Option<PortSecurityConfig>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            ports: 8,
+            cam_capacity: 1024,
+            cam_aging: Duration::from_secs(300),
+            fail_mode: FailMode::FloodOpen,
+            mirror_to: None,
+            port_security: None,
+        }
+    }
+}
+
+const SWEEP_TOKEN: u64 = 0xCA11_5EE9;
+
+/// A learning Ethernet switch.
+#[derive(Debug)]
+pub struct Switch {
+    name: String,
+    config: SwitchConfig,
+    cam: Rc<RefCell<CamTable>>,
+    stats: Rc<RefCell<SwitchStats>>,
+    per_port_macs: HashMap<PortId, HashSet<MacAddr>>,
+    inspector: Option<Box<dyn FrameInspector>>,
+}
+
+impl std::fmt::Debug for dyn FrameInspector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameInspector")
+    }
+}
+
+impl Switch {
+    /// Creates a switch and its inspection handle.
+    pub fn new(name: impl Into<String>, config: SwitchConfig) -> (Self, SwitchHandle) {
+        let cam = Rc::new(RefCell::new(CamTable::new(config.cam_capacity, config.cam_aging)));
+        let stats = Rc::new(RefCell::new(SwitchStats::default()));
+        let handle = SwitchHandle { cam: Rc::clone(&cam), stats: Rc::clone(&stats) };
+        (
+            Switch {
+                name: name.into(),
+                config,
+                cam,
+                stats,
+                per_port_macs: HashMap::new(),
+                inspector: None,
+            },
+            handle,
+        )
+    }
+
+    /// Installs an ingress [`FrameInspector`] (e.g. Dynamic ARP Inspection).
+    pub fn set_inspector(&mut self, inspector: Box<dyn FrameInspector>) {
+        self.inspector = Some(inspector);
+    }
+
+    fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, frame: &[u8]) {
+        for p in 0..self.config.ports as u16 {
+            let p = PortId(p);
+            if p == ingress || Some(p) == self.config.mirror_to {
+                continue;
+            }
+            if self.stats.borrow().shutdown_ports.contains(&p) {
+                continue;
+            }
+            ctx.send(p, frame.to_vec());
+        }
+    }
+}
+
+impl Device for Switch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn port_count(&self) -> usize {
+        self.config.ports
+    }
+
+    fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+        let interval = (self.config.cam_aging / 4).max(Duration::from_millis(100));
+        ctx.schedule_in(interval, SWEEP_TOKEN);
+    }
+
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
+        if token == SWEEP_TOKEN {
+            self.cam.borrow_mut().sweep(ctx.now());
+            let interval = (self.config.cam_aging / 4).max(Duration::from_millis(100));
+            ctx.schedule_in(interval, SWEEP_TOKEN);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, frame: &[u8]) {
+        // Err-disabled ports drop everything.
+        if self.stats.borrow().shutdown_ports.contains(&port) {
+            self.stats.borrow_mut().dropped_security += 1;
+            return;
+        }
+
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return; // unparseable garbage is dropped silently
+        };
+
+        // Ingress inspection (DAI etc.).
+        if let Some(inspector) = &mut self.inspector {
+            if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, &eth) {
+                let mut stats = self.stats.borrow_mut();
+                stats.dropped_inspector += 1;
+                if stats.inspector_reasons.len() >= 32 {
+                    stats.inspector_reasons.remove(0);
+                }
+                stats.inspector_reasons.push(reason);
+                return;
+            }
+        }
+
+        // Port security accounting on the *source* address.
+        if let Some(ps) = self.config.port_security {
+            if eth.src.is_unicast() && !eth.src.is_zero() {
+                let known = self.per_port_macs.entry(port).or_default();
+                if !known.contains(&eth.src) {
+                    if known.len() >= ps.max_macs_per_port {
+                        let mut stats = self.stats.borrow_mut();
+                        stats.security_violations += 1;
+                        stats.dropped_security += 1;
+                        if matches!(ps.violation, ViolationAction::ShutdownPort) {
+                            stats.shutdown_ports.insert(port);
+                        }
+                        return;
+                    }
+                    known.insert(eth.src);
+                }
+            }
+        }
+
+        // Source learning.
+        if eth.src.is_unicast() && !eth.src.is_zero() {
+            let outcome = self.cam.borrow_mut().learn(ctx.now(), eth.src, port);
+            if outcome == LearnOutcome::Full {
+                self.stats.borrow_mut().cam_full_events += 1;
+                if self.config.fail_mode == FailMode::DropNew {
+                    return;
+                }
+            }
+        }
+
+        // Forwarding decision first, so the mirror copy can be skipped
+        // when the frame's own egress *is* the mirror port (it would
+        // otherwise arrive twice there).
+        let unicast_out = if eth.dst.is_unicast() { self.cam.borrow().lookup(eth.dst) } else { None };
+
+        // Mirror a copy of every (accepted) ingress frame.
+        if let Some(mirror) = self.config.mirror_to {
+            if mirror != port && unicast_out != Some(mirror) {
+                ctx.send(mirror, frame.to_vec());
+            }
+        }
+
+        if eth.dst.is_unicast() {
+            if let Some(out) = unicast_out {
+                if out != port && !self.stats.borrow().shutdown_ports.contains(&out) {
+                    ctx.send(out, frame.to_vec());
+                    self.stats.borrow_mut().forwarded += 1;
+                }
+                return;
+            }
+        }
+        self.stats.borrow_mut().flooded += 1;
+        self.flood(ctx, port, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::time::SimTime;
+    use arpshield_packet::EtherType;
+
+    fn frame(src: MacAddr, dst: MacAddr) -> Vec<u8> {
+        EthernetFrame::new(dst, src, EtherType::Other(0x1234), vec![0; 46]).encode()
+    }
+
+    /// Sends a list of (delay_ms, frame) pairs; records frames received.
+    struct Station {
+        plan: Vec<(u64, Vec<u8>)>,
+        received: Rc<RefCell<Vec<Vec<u8>>>>,
+    }
+
+    impl Station {
+        fn new(plan: Vec<(u64, Vec<u8>)>) -> (Self, Rc<RefCell<Vec<Vec<u8>>>>) {
+            let received = Rc::new(RefCell::new(Vec::new()));
+            (Station { plan, received: Rc::clone(&received) }, received)
+        }
+    }
+
+    impl Device for Station {
+        fn name(&self) -> &str {
+            "station"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+            for (i, (delay, _)) in self.plan.iter().enumerate() {
+                ctx.schedule_in(Duration::from_millis(*delay), i as u64);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
+            let bytes = self.plan[token as usize].1.clone();
+            ctx.send(PortId(0), bytes);
+        }
+        fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, frame: &[u8]) {
+            self.received.borrow_mut().push(frame.to_vec());
+        }
+    }
+
+    fn wire(
+        sim: &mut Simulator,
+        station: Station,
+        sw: crate::device::DeviceId,
+        port: u16,
+    ) -> crate::device::DeviceId {
+        let id = sim.add_device(Box::new(station));
+        sim.connect(id, PortId(0), sw, PortId(port), Duration::from_micros(2)).unwrap();
+        id
+    }
+
+    #[test]
+    fn learns_and_stops_flooding() {
+        let mac_a = MacAddr::from_index(1);
+        let mac_b = MacAddr::from_index(2);
+        let mut sim = Simulator::new(1);
+        let (sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(mac_a, mac_b)), (20, frame(mac_a, mac_b))]);
+        let (b, b_rx) = Station::new(vec![(10, frame(mac_b, mac_a))]);
+        let (c, c_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        wire(&mut sim, c, sw, 2);
+        sim.run_until(SimTime::from_secs(1));
+        // First a->b frame floods (b unknown): b and c both see it.
+        // After b talks, the second a->b frame is forwarded only to b.
+        assert_eq!(b_rx.borrow().len(), 2);
+        assert_eq!(c_rx.borrow().len(), 1);
+        assert_eq!(handle.cam.borrow().occupancy(), 2);
+        assert_eq!(handle.stats.borrow().forwarded, 2); // b->a and second a->b
+        assert_eq!(handle.stats.borrow().flooded, 1);
+    }
+
+    #[test]
+    fn broadcast_always_floods() {
+        let mac_a = MacAddr::from_index(1);
+        let mut sim = Simulator::new(1);
+        let (sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(mac_a, MacAddr::BROADCAST))]);
+        let (b, b_rx) = Station::new(vec![]);
+        let (c, c_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        wire(&mut sim, c, sw, 2);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(b_rx.borrow().len(), 1);
+        assert_eq!(c_rx.borrow().len(), 1);
+        assert_eq!(handle.stats.borrow().flooded, 1);
+    }
+
+    #[test]
+    fn cam_capacity_and_fail_open() {
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig { ports: 4, cam_capacity: 3, ..Default::default() };
+        let (sw, handle) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        // Station on port 0 emits frames from 5 distinct sources.
+        let plan: Vec<_> = (10..15u32)
+            .enumerate()
+            .map(|(i, n)| ((i as u64 + 1) * 10, frame(MacAddr::from_index(n), MacAddr::BROADCAST)))
+            .collect();
+        let (a, _) = Station::new(plan);
+        let (b, _) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.cam.borrow().occupancy(), 3);
+        assert!(handle.cam.borrow().is_full());
+        assert_eq!(handle.stats.borrow().cam_full_events, 2);
+    }
+
+    #[test]
+    fn drop_new_fail_mode_blocks_unknown_sources() {
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 4,
+            cam_capacity: 1,
+            fail_mode: FailMode::DropNew,
+            ..Default::default()
+        };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![
+            (1, frame(MacAddr::from_index(1), MacAddr::BROADCAST)),
+            (10, frame(MacAddr::from_index(2), MacAddr::BROADCAST)),
+        ]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        // Only the first source fits; the second is dropped entirely.
+        assert_eq!(b_rx.borrow().len(), 1);
+    }
+
+    #[test]
+    fn cam_aging_evicts_idle_entries() {
+        let mut cam = CamTable::new(10, Duration::from_secs(60));
+        cam.learn(SimTime::ZERO, MacAddr::from_index(1), PortId(0));
+        cam.learn(SimTime::from_secs(30), MacAddr::from_index(2), PortId(1));
+        assert_eq!(cam.sweep(SimTime::from_secs(59)), 0);
+        assert_eq!(cam.sweep(SimTime::from_secs(61)), 1);
+        assert_eq!(cam.occupancy(), 1);
+        assert_eq!(cam.lookup(MacAddr::from_index(1)), None);
+        assert_eq!(cam.lookup(MacAddr::from_index(2)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn station_move_is_tracked() {
+        let mut cam = CamTable::new(10, Duration::from_secs(60));
+        let mac = MacAddr::from_index(5);
+        assert_eq!(cam.learn(SimTime::ZERO, mac, PortId(0)), LearnOutcome::Learned);
+        assert_eq!(cam.learn(SimTime::from_secs(1), mac, PortId(0)), LearnOutcome::Refreshed);
+        assert_eq!(
+            cam.learn(SimTime::from_secs(2), mac, PortId(3)),
+            LearnOutcome::Moved { from: PortId(0) }
+        );
+        assert_eq!(cam.lookup(mac), Some(PortId(3)));
+    }
+
+    #[test]
+    fn port_security_drop_frame() {
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 4,
+            port_security: Some(PortSecurityConfig {
+                max_macs_per_port: 1,
+                violation: ViolationAction::DropFrame,
+            }),
+            ..Default::default()
+        };
+        let (sw, handle) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![
+            (1, frame(MacAddr::from_index(1), MacAddr::BROADCAST)),
+            (10, frame(MacAddr::from_index(2), MacAddr::BROADCAST)), // violation
+            (20, frame(MacAddr::from_index(1), MacAddr::BROADCAST)), // still ok
+        ]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(b_rx.borrow().len(), 2);
+        assert_eq!(handle.stats.borrow().security_violations, 1);
+        assert!(handle.stats.borrow().shutdown_ports.is_empty());
+    }
+
+    #[test]
+    fn port_security_shutdown() {
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 4,
+            port_security: Some(PortSecurityConfig {
+                max_macs_per_port: 1,
+                violation: ViolationAction::ShutdownPort,
+            }),
+            ..Default::default()
+        };
+        let (sw, handle) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![
+            (1, frame(MacAddr::from_index(1), MacAddr::BROADCAST)),
+            (10, frame(MacAddr::from_index(2), MacAddr::BROADCAST)), // violation -> shutdown
+            (20, frame(MacAddr::from_index(1), MacAddr::BROADCAST)), // dropped: port down
+        ]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(b_rx.borrow().len(), 1);
+        assert!(handle.stats.borrow().shutdown_ports.contains(&PortId(0)));
+    }
+
+    #[test]
+    fn mirror_port_sees_everything() {
+        let mac_a = MacAddr::from_index(1);
+        let mac_b = MacAddr::from_index(2);
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig { ports: 4, mirror_to: Some(PortId(3)), ..Default::default() };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(mac_a, mac_b)), (20, frame(mac_a, mac_b))]);
+        let (b, _) = Station::new(vec![(10, frame(mac_b, mac_a))]);
+        let (mon, mon_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        wire(&mut sim, mon, sw, 3);
+        sim.run_until(SimTime::from_secs(1));
+        // Every ingress frame is mirrored exactly once, including the
+        // unicast a->b at t=20ms that the monitor would otherwise miss.
+        assert_eq!(mon_rx.borrow().len(), 3);
+    }
+
+    #[test]
+    fn inspector_can_drop_frames() {
+        struct DenyAll;
+        impl FrameInspector for DenyAll {
+            fn inspect(&mut self, _: SimTime, _: PortId, _: &EthernetFrame) -> InspectVerdict {
+                InspectVerdict::Deny { reason: "test".into() }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let (mut sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+        sw.set_inspector(Box::new(DenyAll));
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(MacAddr::from_index(1), MacAddr::BROADCAST))]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(b_rx.borrow().len(), 0);
+        assert_eq!(handle.stats.borrow().dropped_inspector, 1);
+        assert_eq!(handle.stats.borrow().inspector_reasons, vec!["test".to_string()]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Frame traces: the simulator's equivalent of a pcap capture.
+
+use crate::device::{DeviceId, PortId};
+use crate::time::SimTime;
+
+/// One frame as it crossed a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracedFrame {
+    /// Time the frame was transmitted.
+    pub sent_at: SimTime,
+    /// Transmitting device.
+    pub src_device: DeviceId,
+    /// Transmitting port.
+    pub src_port: PortId,
+    /// Receiving device.
+    pub dst_device: DeviceId,
+    /// Receiving port.
+    pub dst_port: PortId,
+    /// Raw frame bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// An append-only capture of every frame that crossed any link.
+///
+/// Disabled by default because full captures of large experiments are
+/// memory-heavy; enable with
+/// [`Simulator::enable_trace`](crate::Simulator::enable_trace).
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    frames: Vec<TracedFrame>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn record(&mut self, frame: TracedFrame) {
+        self.frames.push(frame);
+    }
+
+    /// All captured frames in transmission order.
+    pub fn frames(&self) -> &[TracedFrame] {
+        &self.frames
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frames transmitted by `device`.
+    pub fn sent_by(&self, device: DeviceId) -> impl Iterator<Item = &TracedFrame> {
+        self.frames.iter().filter(move |f| f.src_device == device)
+    }
+
+    /// Frames delivered to `device`.
+    pub fn received_by(&self, device: DeviceId) -> impl Iterator<Item = &TracedFrame> {
+        self.frames.iter().filter(move |f| f.dst_device == device)
+    }
+
+    /// Total bytes across all captured frames.
+    pub fn total_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.bytes.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(src: usize, dst: usize, len: usize) -> TracedFrame {
+        TracedFrame {
+            sent_at: SimTime::ZERO,
+            src_device: DeviceId(src),
+            src_port: PortId(0),
+            dst_device: DeviceId(dst),
+            dst_port: PortId(0),
+            bytes: vec![0; len],
+        }
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.record(frame(1, 2, 60));
+        t.record(frame(2, 1, 100));
+        t.record(frame(1, 3, 40));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.sent_by(DeviceId(1)).count(), 2);
+        assert_eq!(t.received_by(DeviceId(1)).count(), 1);
+        assert_eq!(t.total_bytes(), 200);
+    }
+}

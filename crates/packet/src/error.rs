@@ -1,0 +1,94 @@
+//! Parse errors shared by every decoder in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a byte buffer cannot be decoded as the requested
+/// protocol unit.
+///
+/// Every decoder in this crate is total: any byte slice either parses or
+/// yields a `ParseError` describing the first violated constraint. Nothing
+/// panics on untrusted input, which matters because detection schemes feed
+/// attacker-controlled frames straight into these parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header of the protocol unit.
+    Truncated {
+        /// Protocol whose header was being decoded.
+        what: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A field holds a value the decoder does not accept.
+    InvalidField {
+        /// Protocol whose field was being decoded.
+        what: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// Offending value, widened to `u64` for display.
+        value: u64,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Protocol whose checksum failed.
+        what: &'static str,
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum recomputed over the buffer.
+        expected: u16,
+    },
+    /// An options area was malformed (e.g. a DHCP option running past the
+    /// end of the buffer).
+    MalformedOptions {
+        /// Protocol whose options failed to decode.
+        what: &'static str,
+        /// Offset at which decoding failed.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { what, needed, got } => {
+                write!(f, "truncated {what}: need {needed} bytes, got {got}")
+            }
+            ParseError::InvalidField { what, field, value } => {
+                write!(f, "invalid {what} field {field}: value {value}")
+            }
+            ParseError::BadChecksum { what, found, expected } => {
+                write!(f, "bad {what} checksum: found {found:#06x}, expected {expected:#06x}")
+            }
+            ParseError::MalformedOptions { what, offset } => {
+                write!(f, "malformed {what} options at offset {offset}")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseError::Truncated { what: "arp", needed: 28, got: 4 };
+        assert_eq!(e.to_string(), "truncated arp: need 28 bytes, got 4");
+        let e = ParseError::InvalidField { what: "ipv4", field: "version", value: 6 };
+        assert!(e.to_string().contains("version"));
+        let e = ParseError::BadChecksum { what: "udp", found: 1, expected: 2 };
+        assert!(e.to_string().contains("checksum"));
+        let e = ParseError::MalformedOptions { what: "dhcp", offset: 9 };
+        assert!(e.to_string().contains("offset 9"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(ParseError::Truncated { what: "x", needed: 1, got: 0 });
+    }
+}

@@ -1,0 +1,242 @@
+//! Ethernet II framing.
+
+use std::fmt;
+
+use crate::error::ParseError;
+use crate::mac::MacAddr;
+
+/// Length of the Ethernet II header (destination, source, ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+/// Minimum payload length; shorter payloads are zero-padded on the wire.
+pub const ETHERNET_MIN_PAYLOAD: usize = 46;
+/// Maximum standard payload length (no jumbo frames).
+pub const ETHERNET_MAX_PAYLOAD: usize = 1500;
+
+/// The EtherType field of an Ethernet II frame.
+///
+/// Unknown values are preserved rather than rejected so monitors can count
+/// traffic they do not understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806`.
+    ARP,
+    /// S-ARP, the signed ARP variant deployed by the S-ARP scheme. Real
+    /// S-ARP extends the ARP payload; we give it a distinct ethertype in the
+    /// experimental space (`0x88b5`, IEEE 802 local experimental 1) so that
+    /// legacy hosts visibly drop it, matching the paper's interoperability
+    /// discussion.
+    SArp,
+    /// TARP, the ticket-based authenticated ARP variant (IEEE 802 local
+    /// experimental 2, `0x88b6`).
+    Tarp,
+    /// Any other value, carried through verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Returns the 16-bit wire value.
+    pub const fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::ARP => 0x0806,
+            EtherType::SArp => 0x88b5,
+            EtherType::Tarp => 0x88b6,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Builds an `EtherType` from the 16-bit wire value.
+    pub const fn from_u16(value: u16) -> Self {
+        match value {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::ARP,
+            0x88b5 => EtherType::SArp,
+            0x88b6 => EtherType::Tarp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "IPv4"),
+            EtherType::ARP => write!(f, "ARP"),
+            EtherType::SArp => write!(f, "S-ARP"),
+            EtherType::Tarp => write!(f, "TARP"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(value: u16) -> Self {
+        EtherType::from_u16(value)
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> Self {
+        value.to_u16()
+    }
+}
+
+/// An Ethernet II frame: header plus owned payload.
+///
+/// The preamble and FCS are physical-layer artifacts a host NIC never hands
+/// to software, so they are not modelled; padding of short payloads *is*
+/// applied by [`EthernetFrame::encode`] because receivers genuinely see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination hardware address.
+    pub dst: MacAddr,
+    /// Source hardware address.
+    pub src: MacAddr,
+    /// Payload protocol.
+    pub ethertype: EtherType,
+    /// Payload bytes (unpadded).
+    pub payload: Vec<u8>,
+}
+
+impl EthernetFrame {
+    /// Creates a frame.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
+        EthernetFrame { dst, src, ethertype, payload }
+    }
+
+    /// Serializes the frame, zero-padding the payload to the 46-byte minimum.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload_len = self.payload.len().max(ETHERNET_MIN_PAYLOAD);
+        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + payload_len);
+        buf.extend_from_slice(self.dst.as_bytes());
+        buf.extend_from_slice(self.src.as_bytes());
+        buf.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf.resize(ETHERNET_HEADER_LEN + payload_len, 0);
+        buf
+    }
+
+    /// Parses a frame from raw bytes. The payload keeps any padding, since a
+    /// receiver cannot distinguish padding from data without the L3 length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] when `buf` is shorter than the
+    /// 14-byte header, and [`ParseError::InvalidField`] when the payload
+    /// exceeds the standard MTU.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "ethernet",
+                needed: ETHERNET_HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let payload = &buf[ETHERNET_HEADER_LEN..];
+        if payload.len() > ETHERNET_MAX_PAYLOAD {
+            return Err(ParseError::InvalidField {
+                what: "ethernet",
+                field: "payload_len",
+                value: payload.len() as u64,
+            });
+        }
+        Ok(EthernetFrame {
+            dst: MacAddr::parse(&buf[0..6])?,
+            src: MacAddr::parse(&buf[6..12])?,
+            ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Total on-wire length after padding.
+    pub fn wire_len(&self) -> usize {
+        ETHERNET_HEADER_LEN + self.payload.len().max(ETHERNET_MIN_PAYLOAD)
+    }
+
+    /// True when addressed to the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.is_broadcast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetFrame {
+        EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::Ipv4,
+            vec![0xaa; 64],
+        )
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let frame = sample();
+        let parsed = EthernetFrame::parse(&frame.encode()).unwrap();
+        assert_eq!(parsed, frame);
+    }
+
+    #[test]
+    fn short_payload_is_padded() {
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::from_index(1),
+            EtherType::ARP,
+            vec![1, 2, 3],
+        );
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), ETHERNET_HEADER_LEN + ETHERNET_MIN_PAYLOAD);
+        assert_eq!(&bytes[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + 3], &[1, 2, 3]);
+        assert!(bytes[ETHERNET_HEADER_LEN + 3..].iter().all(|&b| b == 0));
+        // The parsed payload includes padding, as on a real NIC.
+        let parsed = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(parsed.payload.len(), ETHERNET_MIN_PAYLOAD);
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(matches!(
+            EthernetFrame::parse(&[0u8; 13]),
+            Err(ParseError::Truncated { what: "ethernet", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_payload() {
+        let frame =
+            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0; 2000]);
+        assert!(EthernetFrame::parse(&frame.encode()).is_err());
+    }
+
+    #[test]
+    fn ethertype_u16_roundtrip() {
+        for v in [0x0800u16, 0x0806, 0x88b5, 0x88b6, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::ARP);
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        let mut frame = sample();
+        assert!(!frame.is_broadcast());
+        frame.dst = MacAddr::BROADCAST;
+        assert!(frame.is_broadcast());
+    }
+
+    #[test]
+    fn wire_len_accounts_for_padding() {
+        let small =
+            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::ARP, vec![0; 10]);
+        assert_eq!(small.wire_len(), 60);
+        let big =
+            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0; 1000]);
+        assert_eq!(big.wire_len(), 1014);
+    }
+}

@@ -1,0 +1,167 @@
+//! UDP datagrams with pseudo-header checksums.
+
+use crate::checksum::Checksum;
+use crate::error::ParseError;
+use crate::ipv4::Ipv4Addr;
+
+/// Length of the UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram.
+///
+/// The checksum covers the IPv4 pseudo-header, so [`UdpDatagram::encode`]
+/// and [`UdpDatagram::parse`] take the enclosing source and destination
+/// addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// Creates a datagram.
+    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
+        UdpDatagram { src_port, dst_port, payload }
+    }
+
+    /// Serializes header plus payload, computing the pseudo-header checksum.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = (UDP_HEADER_LEN + self.payload.len()) as u16;
+        let mut buf = Vec::with_capacity(len as usize);
+        buf.extend_from_slice(&self.src_port.to_be_bytes());
+        buf.extend_from_slice(&self.dst_port.to_be_bytes());
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.payload);
+        let mut ck = pseudo_header(src, dst, len);
+        ck.add_bytes(&buf);
+        let mut sum = ck.finish();
+        if sum == 0 {
+            sum = 0xffff; // RFC 768: transmitted zero means "no checksum"
+        }
+        buf[6..8].copy_from_slice(&sum.to_be_bytes());
+        buf
+    }
+
+    /// Parses a datagram, verifying length and (when present) the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on truncation, an impossible length field,
+    /// or a checksum mismatch.
+    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, ParseError> {
+        if buf.len() < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                what: "udp",
+                needed: UDP_HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let len = usize::from(u16::from_be_bytes([buf[4], buf[5]]));
+        if len < UDP_HEADER_LEN || len > buf.len() {
+            return Err(ParseError::InvalidField {
+                what: "udp",
+                field: "length",
+                value: len as u64,
+            });
+        }
+        let stored = u16::from_be_bytes([buf[6], buf[7]]);
+        if stored != 0 {
+            let mut ck = pseudo_header(src, dst, len as u16);
+            ck.add_bytes(&buf[..len]);
+            let verified = ck.finish();
+            if verified != 0 {
+                return Err(ParseError::BadChecksum { what: "udp", found: stored, expected: 0 });
+            }
+        }
+        Ok(UdpDatagram {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            payload: buf[UDP_HEADER_LEN..len].to_vec(),
+        })
+    }
+}
+
+fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, len: u16) -> Checksum {
+    let mut ck = Checksum::new();
+    ck.add_u32(src.to_u32());
+    ck.add_u32(dst.to_u32());
+    ck.add_u16(17); // protocol
+    ck.add_u16(len);
+    ck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn roundtrip() {
+        let dg = UdpDatagram::new(68, 67, b"discover".to_vec());
+        let parsed = UdpDatagram::parse(&dg.encode(SRC, DST), SRC, DST).unwrap();
+        assert_eq!(parsed, dg);
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        let dg = UdpDatagram::new(1000, 2000, vec![1, 2, 3]);
+        let bytes = dg.encode(SRC, DST);
+        // Parsing with a different pseudo-header must fail.
+        assert!(UdpDatagram::parse(&bytes, SRC, Ipv4Addr::new(10, 0, 0, 3)).is_err());
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let dg = UdpDatagram::new(5, 6, vec![0xaa; 16]);
+        let mut bytes = dg.encode(SRC, DST);
+        bytes[12] ^= 0x01;
+        assert!(matches!(
+            UdpDatagram::parse(&bytes, SRC, DST),
+            Err(ParseError::BadChecksum { what: "udp", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_checksum_skips_verification() {
+        let dg = UdpDatagram::new(5, 6, vec![1]);
+        let mut bytes = dg.encode(SRC, DST);
+        bytes[6] = 0;
+        bytes[7] = 0;
+        assert!(UdpDatagram::parse(&bytes, SRC, DST).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let dg = UdpDatagram::new(5, 6, vec![1, 2]);
+        let mut bytes = dg.encode(SRC, DST);
+        bytes[4] = 0xff;
+        bytes[5] = 0xff;
+        assert!(UdpDatagram::parse(&bytes, SRC, DST).is_err());
+        bytes[4] = 0;
+        bytes[5] = 3; // < header length
+        assert!(UdpDatagram::parse(&bytes, SRC, DST).is_err());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let dg = UdpDatagram::new(53, 53, vec![]);
+        let parsed = UdpDatagram::parse(&dg.encode(SRC, DST), SRC, DST).unwrap();
+        assert!(parsed.payload.is_empty());
+    }
+
+    #[test]
+    fn parse_ignores_trailing_padding() {
+        let dg = UdpDatagram::new(68, 67, vec![9; 3]);
+        let mut bytes = dg.encode(SRC, DST);
+        bytes.extend_from_slice(&[0; 10]);
+        let parsed = UdpDatagram::parse(&bytes, SRC, DST).unwrap();
+        assert_eq!(parsed.payload, vec![9; 3]);
+    }
+}

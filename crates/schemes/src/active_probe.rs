@@ -1,0 +1,284 @@
+//! XArp/ArpON-style active verification: probe suspicious claims.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+
+use crate::alert::{Alert, AlertKind, AlertLog};
+use crate::work;
+
+const SCHEME: &str = "active-probe";
+
+/// Active prober knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveProbeConfig {
+    /// The prober's own hardware address (probes are sourced from it).
+    pub mac: MacAddr,
+    /// How long to collect probe answers before judging.
+    pub probe_window: Duration,
+    /// Re-verify a binding at most this often (limits wire overhead).
+    pub reverify_cooldown: Duration,
+}
+
+impl ActiveProbeConfig {
+    /// Defaults tuned for millisecond-scale LANs.
+    pub fn new(mac: MacAddr) -> Self {
+        ActiveProbeConfig {
+            mac,
+            probe_window: Duration::from_millis(300),
+            reverify_cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProbeState {
+    claimed: MacAddr,
+    answers: HashSet<MacAddr>,
+    previous: Option<MacAddr>,
+}
+
+/// A monitor that verifies ARP claims by asking the network.
+///
+/// On every claim that is *new* or *contradicts* its database, it emits
+/// an RFC 5227 ARP probe (zero sender IP, so it never pollutes caches)
+/// for the claimed address and waits a window for answers:
+///
+/// * the claimed MAC answers, alone → claim verified, DB updated;
+/// * a different MAC answers → [`AlertKind::ProbeContradiction`];
+/// * multiple distinct MACs answer → [`AlertKind::DuplicateResponders`]
+///   (two stations think they own the IP — a live poisoning fight).
+///
+/// The probe traffic itself is the scheme's cost, measured in experiment
+/// F2.
+#[derive(Debug)]
+pub struct ActiveProbeMonitor {
+    config: ActiveProbeConfig,
+    log: AlertLog,
+    db: HashMap<Ipv4Addr, MacAddr>,
+    last_verified: HashMap<Ipv4Addr, SimTime>,
+    pending: HashMap<Ipv4Addr, ProbeState>,
+    /// Probes emitted.
+    pub probes_sent: u64,
+    /// ARP packets inspected.
+    pub inspected: u64,
+}
+
+impl ActiveProbeMonitor {
+    /// Creates a prober reporting into `log`.
+    pub fn new(config: ActiveProbeConfig, log: AlertLog) -> Self {
+        ActiveProbeMonitor {
+            config,
+            log,
+            db: HashMap::new(),
+            last_verified: HashMap::new(),
+            pending: HashMap::new(),
+            probes_sent: 0,
+            inspected: 0,
+        }
+    }
+
+    /// The database's current belief for `ip`.
+    pub fn binding(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.db.get(&ip).copied()
+    }
+
+    fn start_probe(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        ip: Ipv4Addr,
+        claimed: MacAddr,
+        contradiction: bool,
+    ) {
+        if self.pending.contains_key(&ip) {
+            return; // verification already in flight
+        }
+        // The cooldown only throttles re-probing of *new* stations; a
+        // claim that contradicts an established binding is always worth a
+        // probe — that is the scheme's whole point.
+        if !contradiction {
+            if let Some(at) = self.last_verified.get(&ip) {
+                if ctx.now().saturating_since(*at) < self.config.reverify_cooldown {
+                    return;
+                }
+            }
+        }
+        let previous = self.db.get(&ip).copied();
+        self.pending.insert(ip, ProbeState { claimed, answers: HashSet::new(), previous });
+        let probe = ArpPacket::request(self.config.mac, Ipv4Addr::UNSPECIFIED, ip);
+        let frame =
+            EthernetFrame::new(MacAddr::BROADCAST, self.config.mac, EtherType::ARP, probe.encode());
+        ctx.send(PortId(0), frame.encode());
+        self.probes_sent += 1;
+        self.log.add_work(SCHEME, work::PROBE);
+        ctx.schedule_in(self.config.probe_window, u64::from(ip.to_u32()));
+    }
+
+    fn judge(&mut self, now: SimTime, ip: Ipv4Addr) {
+        let Some(state) = self.pending.remove(&ip) else {
+            return;
+        };
+        self.last_verified.insert(ip, now);
+        match state.answers.len() {
+            0 => {
+                // Nobody defends the IP. The claim might be a station that
+                // is simply quiet, or a forged binding for a live-but-mute
+                // host. Record it provisionally (XArp behaves likewise).
+                self.db.insert(ip, state.claimed);
+            }
+            1 => {
+                let answer = *state.answers.iter().next().unwrap();
+                self.db.insert(ip, answer);
+                if answer != state.claimed {
+                    self.log.raise(Alert {
+                        at: now,
+                        scheme: SCHEME,
+                        kind: AlertKind::ProbeContradiction,
+                        subject_ip: Some(ip),
+                        observed_mac: Some(state.claimed),
+                        expected_mac: Some(answer),
+                    });
+                }
+            }
+            _ => {
+                self.log.raise(Alert {
+                    at: now,
+                    scheme: SCHEME,
+                    kind: AlertKind::DuplicateResponders,
+                    subject_ip: Some(ip),
+                    observed_mac: Some(state.claimed),
+                    expected_mac: state.previous,
+                });
+            }
+        }
+    }
+}
+
+impl Device for ActiveProbeMonitor {
+    fn name(&self) -> &str {
+        "active-probe-monitor"
+    }
+
+    fn port_count(&self) -> usize {
+        1
+    }
+
+    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return;
+        };
+        if eth.ethertype != EtherType::ARP {
+            return;
+        }
+        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+            return;
+        };
+        if arp.sender_mac == self.config.mac {
+            return; // our own probes, mirrored back
+        }
+        self.inspected += 1;
+        self.log.add_work(SCHEME, work::INSPECT);
+        if arp.sender_ip.is_unspecified() {
+            return; // someone else's probe
+        }
+        // Answers to an in-flight probe: replies for the probed IP.
+        if arp.op == ArpOp::Reply {
+            if let Some(state) = self.pending.get_mut(&arp.sender_ip) {
+                state.answers.insert(arp.sender_mac);
+                return; // judged when the window closes
+            }
+        }
+        match self.db.get(&arp.sender_ip) {
+            Some(known) if *known == arp.sender_mac => {} // stable claim
+            Some(_) => self.start_probe(ctx, arp.sender_ip, arp.sender_mac, true),
+            None => self.start_probe(ctx, arp.sender_ip, arp.sender_mac, false),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
+        let ip = Ipv4Addr::from_u32(token as u32);
+        self.judge(ctx.now(), ip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prober() -> (ActiveProbeMonitor, AlertLog) {
+        let log = AlertLog::new();
+        (
+            ActiveProbeMonitor::new(
+                ActiveProbeConfig::new(MacAddr::from_index(200)),
+                log.clone(),
+            ),
+            log,
+        )
+    }
+
+    const IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    #[test]
+    fn contradicted_claim_alerts() {
+        let (mut m, log) = prober();
+        m.pending.insert(
+            IP,
+            ProbeState {
+                claimed: MacAddr::from_index(66),
+                answers: HashSet::from([MacAddr::from_index(1)]),
+                previous: None,
+            },
+        );
+        m.judge(SimTime::from_secs(1), IP);
+        assert_eq!(log.alerts()[0].kind, AlertKind::ProbeContradiction);
+        assert_eq!(m.binding(IP), Some(MacAddr::from_index(1)), "probe answer wins");
+    }
+
+    #[test]
+    fn confirmed_claim_is_silent() {
+        let (mut m, log) = prober();
+        m.pending.insert(
+            IP,
+            ProbeState {
+                claimed: MacAddr::from_index(1),
+                answers: HashSet::from([MacAddr::from_index(1)]),
+                previous: None,
+            },
+        );
+        m.judge(SimTime::from_secs(1), IP);
+        assert!(log.is_empty());
+        assert_eq!(m.binding(IP), Some(MacAddr::from_index(1)));
+    }
+
+    #[test]
+    fn duplicate_responders_alert() {
+        let (mut m, log) = prober();
+        m.pending.insert(
+            IP,
+            ProbeState {
+                claimed: MacAddr::from_index(66),
+                answers: HashSet::from([MacAddr::from_index(1), MacAddr::from_index(66)]),
+                previous: Some(MacAddr::from_index(1)),
+            },
+        );
+        m.judge(SimTime::from_secs(1), IP);
+        assert_eq!(log.alerts()[0].kind, AlertKind::DuplicateResponders);
+    }
+
+    #[test]
+    fn silent_ip_recorded_provisionally() {
+        let (mut m, log) = prober();
+        m.pending.insert(
+            IP,
+            ProbeState { claimed: MacAddr::from_index(7), answers: HashSet::new(), previous: None },
+        );
+        m.judge(SimTime::from_secs(1), IP);
+        assert!(log.is_empty());
+        assert_eq!(m.binding(IP), Some(MacAddr::from_index(7)));
+    }
+
+    // Wire-level behaviour (probe emission, cooldown, live contradiction
+    // against real hosts) is exercised in the crate integration tests.
+}

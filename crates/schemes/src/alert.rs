@@ -1,0 +1,167 @@
+//! The shared alert log every scheme reports into.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use arpshield_netsim::SimTime;
+use arpshield_packet::{Ipv4Addr, MacAddr};
+
+/// What a scheme believes it saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// An IP's binding changed to a different MAC.
+    BindingChanged,
+    /// A reply arrived with no matching request on the wire.
+    UnsolicitedReply,
+    /// A reply's sender fields contradict the request it answers.
+    ReplyMismatch,
+    /// An active probe contradicted a claimed binding.
+    ProbeContradiction,
+    /// Two different MACs answered for the same IP.
+    DuplicateResponders,
+    /// A signature failed to verify (S-ARP).
+    SignatureInvalid,
+    /// An unsigned/legacy ARP reply was rejected on an S-ARP host.
+    UnsignedReply,
+    /// A host-side policy hook rejected a binding change (Antidote).
+    ReplaceRejected,
+    /// The switch dropped an ARP packet failing DAI validation.
+    DaiViolation,
+    /// ARP request rate suggests scanning/poisoning activity.
+    RateAnomaly,
+}
+
+/// One detection event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alert {
+    /// When the scheme raised it.
+    pub at: SimTime,
+    /// Which scheme raised it (stable label from its descriptor).
+    pub scheme: &'static str,
+    /// Category.
+    pub kind: AlertKind,
+    /// The IP whose binding is in question.
+    pub subject_ip: Option<Ipv4Addr>,
+    /// The MAC observed in the suspicious claim.
+    pub observed_mac: Option<MacAddr>,
+    /// The MAC previously/expectedly bound.
+    pub expected_mac: Option<MacAddr>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    alerts: Vec<Alert>,
+    work: HashMap<&'static str, u64>,
+}
+
+/// Shared, append-only alert log with per-scheme work accounting.
+///
+/// Cheap to clone; all clones share state (single-threaded simulation).
+#[derive(Debug, Clone, Default)]
+pub struct AlertLog {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl AlertLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AlertLog::default()
+    }
+
+    /// Records an alert.
+    pub fn raise(&self, alert: Alert) {
+        self.inner.borrow_mut().alerts.push(alert);
+    }
+
+    /// Charges `units` of abstract CPU work to `scheme`.
+    pub fn add_work(&self, scheme: &'static str, units: u64) {
+        *self.inner.borrow_mut().work.entry(scheme).or_insert(0) += units;
+    }
+
+    /// Snapshot of all alerts so far.
+    pub fn alerts(&self) -> Vec<Alert> {
+        self.inner.borrow().alerts.clone()
+    }
+
+    /// Number of alerts.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().alerts.len()
+    }
+
+    /// True when nothing was raised.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().alerts.is_empty()
+    }
+
+    /// Time of the first alert matching `pred`.
+    pub fn first_time(&self, pred: impl Fn(&Alert) -> bool) -> Option<SimTime> {
+        self.inner.borrow().alerts.iter().find(|a| pred(a)).map(|a| a.at)
+    }
+
+    /// Alerts whose subject is `ip`.
+    pub fn about_ip(&self, ip: Ipv4Addr) -> Vec<Alert> {
+        self.inner.borrow().alerts.iter().filter(|a| a.subject_ip == Some(ip)).cloned().collect()
+    }
+
+    /// Work units charged to `scheme`.
+    pub fn work_of(&self, scheme: &str) -> u64 {
+        self.inner.borrow().work.get(scheme).copied().unwrap_or(0)
+    }
+
+    /// Total work across schemes.
+    pub fn total_work(&self) -> u64 {
+        self.inner.borrow().work.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(ms: u64, kind: AlertKind) -> Alert {
+        Alert {
+            at: SimTime::from_millis(ms),
+            scheme: "test",
+            kind,
+            subject_ip: Some(Ipv4Addr::new(10, 0, 0, 1)),
+            observed_mac: Some(MacAddr::from_index(66)),
+            expected_mac: Some(MacAddr::from_index(1)),
+        }
+    }
+
+    #[test]
+    fn log_shared_across_clones() {
+        let log = AlertLog::new();
+        let clone = log.clone();
+        clone.raise(alert(10, AlertKind::BindingChanged));
+        assert_eq!(log.len(), 1);
+        assert_eq!(
+            log.first_time(|a| a.kind == AlertKind::BindingChanged),
+            Some(SimTime::from_millis(10))
+        );
+        assert_eq!(log.first_time(|a| a.kind == AlertKind::DaiViolation), None);
+    }
+
+    #[test]
+    fn work_accounting() {
+        let log = AlertLog::new();
+        log.add_work("passive", 3);
+        log.add_work("passive", 4);
+        log.add_work("sarp", 900);
+        assert_eq!(log.work_of("passive"), 7);
+        assert_eq!(log.work_of("sarp"), 900);
+        assert_eq!(log.work_of("nobody"), 0);
+        assert_eq!(log.total_work(), 907);
+    }
+
+    #[test]
+    fn about_ip_filters() {
+        let log = AlertLog::new();
+        log.raise(alert(1, AlertKind::BindingChanged));
+        let mut other = alert(2, AlertKind::UnsolicitedReply);
+        other.subject_ip = Some(Ipv4Addr::new(10, 0, 0, 9));
+        log.raise(other);
+        assert_eq!(log.about_ip(Ipv4Addr::new(10, 0, 0, 1)).len(), 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! Snort-style stateful ARP inspection: match replies to requests.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+
+use crate::alert::{Alert, AlertKind, AlertLog};
+use crate::work;
+
+const SCHEME: &str = "stateful";
+
+/// Stateful monitor knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StatefulConfig {
+    /// How long an observed request justifies a subsequent reply.
+    pub request_window: Duration,
+    /// Also keep a binding DB (like the passive monitor) and alert on
+    /// changes — catches request-based poisoning that pure reply
+    /// matching misses.
+    pub track_bindings: bool,
+    /// Alert when the Ethernet source differs from the ARP sender MAC —
+    /// a classic forgery tell.
+    pub check_l2_consistency: bool,
+}
+
+impl Default for StatefulConfig {
+    fn default() -> Self {
+        StatefulConfig {
+            request_window: Duration::from_secs(2),
+            track_bindings: true,
+            check_l2_consistency: true,
+        }
+    }
+}
+
+/// A mirror-port monitor that models the ARP state machine: every reply
+/// must answer a recent request, addressed back to the requester.
+///
+/// This is the detection core of the "middleware"/IDS approach the paper
+/// analyzes: stronger than pure passive diffing (it catches unsolicited
+/// replies even during the learning window) but still evadable by the
+/// reply-race variant, which *is* solicited.
+#[derive(Debug)]
+pub struct StatefulMonitor {
+    config: StatefulConfig,
+    log: AlertLog,
+    /// Requests seen: (requester ip, target ip) -> (time, requester mac).
+    outstanding: HashMap<(Ipv4Addr, Ipv4Addr), (SimTime, MacAddr)>,
+    bindings: HashMap<Ipv4Addr, MacAddr>,
+    /// ARP packets inspected.
+    pub inspected: u64,
+}
+
+impl StatefulMonitor {
+    /// Creates a monitor reporting into `log`.
+    pub fn new(config: StatefulConfig, log: AlertLog) -> Self {
+        StatefulMonitor {
+            config,
+            log,
+            outstanding: HashMap::new(),
+            bindings: HashMap::new(),
+            inspected: 0,
+        }
+    }
+
+    fn raise(&self, now: SimTime, kind: AlertKind, arp: &ArpPacket, expected: Option<MacAddr>) {
+        self.log.raise(Alert {
+            at: now,
+            scheme: SCHEME,
+            kind,
+            subject_ip: Some(arp.sender_ip),
+            observed_mac: Some(arp.sender_mac),
+            expected_mac: expected,
+        });
+    }
+
+    fn track_binding(&mut self, now: SimTime, ip: Ipv4Addr, mac: MacAddr) {
+        if !self.config.track_bindings || ip.is_unspecified() {
+            return;
+        }
+        self.log.add_work(SCHEME, work::DB_OP);
+        if let Some(previous) = self.bindings.insert(ip, mac) {
+            if previous != mac {
+                self.log.raise(Alert {
+                    at: now,
+                    scheme: SCHEME,
+                    kind: AlertKind::BindingChanged,
+                    subject_ip: Some(ip),
+                    observed_mac: Some(mac),
+                    expected_mac: Some(previous),
+                });
+            }
+        }
+    }
+
+    fn inspect(&mut self, now: SimTime, eth: &EthernetFrame, arp: &ArpPacket) {
+        self.inspected += 1;
+        self.log.add_work(SCHEME, work::INSPECT);
+        if self.config.check_l2_consistency
+            && !arp.sender_mac.is_zero()
+            && eth.src != arp.sender_mac
+        {
+            self.raise(now, AlertKind::ReplyMismatch, arp, Some(eth.src));
+        }
+        match arp.op {
+            ArpOp::Request => {
+                // Probes (unspecified sender) are tracked too: their
+                // answers must not read as unsolicited.
+                self.outstanding.insert((arp.sender_ip, arp.target_ip), (now, arp.sender_mac));
+                self.track_binding(now, arp.sender_ip, arp.sender_mac);
+            }
+            ArpOp::Reply => {
+                // A reply from X to Y answers a request (Y -> X).
+                let key = (arp.target_ip, arp.sender_ip);
+                let solicited = match self.outstanding.get(&key) {
+                    Some((asked_at, _)) => {
+                        now.saturating_since(*asked_at) <= self.config.request_window
+                    }
+                    None => false,
+                };
+                // The request is deliberately NOT consumed on match: a
+                // mirrored or retransmitted duplicate of a legitimate
+                // reply must stay solicited. Entries lapse by window.
+                if !solicited {
+                    self.raise(now, AlertKind::UnsolicitedReply, arp, None);
+                }
+                self.track_binding(now, arp.sender_ip, arp.sender_mac);
+            }
+        }
+        // Bound state: drop stale outstanding requests opportunistically.
+        if self.outstanding.len() > 4096 {
+            let window = self.config.request_window;
+            self.outstanding.retain(|_, (t, _)| now.saturating_since(*t) <= window);
+        }
+    }
+}
+
+impl Device for StatefulMonitor {
+    fn name(&self) -> &str {
+        "stateful-monitor"
+    }
+
+    fn port_count(&self) -> usize {
+        1
+    }
+
+    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
+        let Ok(eth) = EthernetFrame::parse(frame) else {
+            return;
+        };
+        if eth.ethertype != EtherType::ARP {
+            return;
+        }
+        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+            return;
+        };
+        self.inspect(ctx.now(), &eth, &arp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> (StatefulMonitor, AlertLog) {
+        let log = AlertLog::new();
+        (StatefulMonitor::new(StatefulConfig::default(), log.clone()), log)
+    }
+
+    fn eth_for(arp: &ArpPacket) -> EthernetFrame {
+        EthernetFrame::new(MacAddr::BROADCAST, arp.sender_mac, EtherType::ARP, arp.encode())
+    }
+
+    fn request(from: u32, from_ip: u8, for_ip: u8) -> ArpPacket {
+        ArpPacket::request(
+            MacAddr::from_index(from),
+            Ipv4Addr::new(10, 0, 0, from_ip),
+            Ipv4Addr::new(10, 0, 0, for_ip),
+        )
+    }
+
+    #[test]
+    fn solicited_reply_is_silent() {
+        let (mut m, log) = monitor();
+        let req = request(1, 1, 2);
+        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        let reply = ArpPacket::reply_to(&req, MacAddr::from_index(2));
+        m.inspect(SimTime::from_millis(1100), &eth_for(&reply), &reply);
+        assert!(log.is_empty(), "alerts: {:?}", log.alerts());
+    }
+
+    #[test]
+    fn unsolicited_reply_detected_even_with_empty_db() {
+        let (mut m, log) = monitor();
+        let forged = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_index(66),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::from_index(2),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        m.inspect(SimTime::from_secs(5), &eth_for(&forged), &forged);
+        assert_eq!(log.alerts()[0].kind, AlertKind::UnsolicitedReply);
+    }
+
+    #[test]
+    fn reply_outside_window_is_unsolicited() {
+        let (mut m, log) = monitor();
+        let req = request(1, 1, 2);
+        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        let reply = ArpPacket::reply_to(&req, MacAddr::from_index(2));
+        m.inspect(SimTime::from_secs(10), &eth_for(&reply), &reply);
+        assert_eq!(log.alerts()[0].kind, AlertKind::UnsolicitedReply);
+    }
+
+    #[test]
+    fn race_variant_evades_reply_matching_but_binding_db_catches_flip() {
+        let (mut m, log) = monitor();
+        // Victim asks for gw.
+        let req = request(2, 2, 1);
+        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        // Attacker's forged reply wins the race — it is solicited.
+        let forged = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_index(66),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::from_index(2),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        m.inspect(SimTime::from_millis(1010), &eth_for(&forged), &forged);
+        assert!(log.is_empty(), "solicited forgery passes reply matching");
+        // The genuine reply lands second: binding DB flags the flip.
+        let genuine = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::from_index(1),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::from_index(2),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        m.inspect(SimTime::from_millis(1020), &eth_for(&genuine), &genuine);
+        let kinds: Vec<_> = log.alerts().iter().map(|a| a.kind).collect();
+        // The genuine reply is now "unsolicited" (request consumed) and
+        // the binding flip fires: the race is *noticed*, but attribution
+        // points at the victim's legitimate gateway — a documented
+        // weakness of the approach.
+        assert!(kinds.contains(&AlertKind::BindingChanged));
+    }
+
+    #[test]
+    fn l2_inconsistency_detected() {
+        let (mut m, log) = monitor();
+        let forged = request(66, 1, 2); // claims sender mac 66...
+        let mut eth = eth_for(&forged);
+        eth.src = MacAddr::from_index(99); // ...but frame sourced from 99
+        m.inspect(SimTime::from_secs(1), &eth, &forged);
+        assert!(log.alerts().iter().any(|a| a.kind == AlertKind::ReplyMismatch));
+    }
+
+    #[test]
+    fn gratuitous_request_poisoning_caught_by_binding_db() {
+        let (mut m, log) = monitor();
+        let honest = request(1, 1, 2);
+        m.inspect(SimTime::from_secs(1), &eth_for(&honest), &honest);
+        let forged = ArpPacket::gratuitous(
+            ArpOp::Request,
+            MacAddr::from_index(66),
+            Ipv4Addr::new(10, 0, 0, 1),
+        );
+        m.inspect(SimTime::from_secs(2), &eth_for(&forged), &forged);
+        assert!(log.alerts().iter().any(|a| a.kind == AlertKind::BindingChanged));
+    }
+}

@@ -1,0 +1,77 @@
+//! Static ARP entries: the oldest prevention scheme.
+
+use arpshield_host::HostHandle;
+use arpshield_netsim::SimTime;
+use arpshield_packet::{Ipv4Addr, MacAddr};
+
+/// Installs the complete set of true bindings statically into a host's
+/// cache.
+///
+/// Combined with [`ArpPolicy::StaticOnly`](arpshield_host::ArpPolicy) on
+/// the host, this is full prevention: the cache can never be rewritten
+/// dynamically. The costs the analysis charges it with are managerial —
+/// every host must be touched for every address change, and DHCP
+/// environments cannot use it at all — which experiments quantify as the
+/// `n × (n-1)` entries this function installs across a LAN.
+///
+/// ```rust
+/// use arpshield_host::{Host, HostConfig, ArpPolicy};
+/// use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
+/// use arpshield_schemes::static_arp;
+///
+/// let (_, handle) = Host::new(
+///     HostConfig::static_ip(
+///         "a",
+///         MacAddr::from_index(1),
+///         Ipv4Addr::new(10, 0, 0, 1),
+///         Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24),
+///     )
+///     .with_policy(ArpPolicy::StaticOnly),
+/// );
+/// let peers = [(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_index(2))];
+/// assert_eq!(static_arp(&handle, &peers), 1);
+/// ```
+pub fn static_arp(host: &HostHandle, bindings: &[(Ipv4Addr, MacAddr)]) -> usize {
+    let mut cache = host.cache.borrow_mut();
+    let own_ip = host.ip();
+    let mut installed = 0;
+    for &(ip, mac) in bindings {
+        if Some(ip) == own_ip {
+            continue; // no self-entry needed
+        }
+        cache.insert_static(SimTime::ZERO, ip, mac);
+        installed += 1;
+    }
+    installed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arpshield_host::{ArpPolicy, Host, HostConfig};
+    use arpshield_packet::Ipv4Cidr;
+
+    #[test]
+    fn installs_all_but_self() {
+        let (_, handle) = Host::new(
+            HostConfig::static_ip(
+                "a",
+                MacAddr::from_index(1),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24),
+            )
+            .with_policy(ArpPolicy::StaticOnly),
+        );
+        let bindings: Vec<_> = (1..=5u8)
+            .map(|n| (Ipv4Addr::new(10, 0, 0, n), MacAddr::from_index(u32::from(n))))
+            .collect();
+        assert_eq!(static_arp(&handle, &bindings), 4);
+        let cache = handle.cache.borrow();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(
+            cache.lookup(SimTime::from_secs(1_000_000), Ipv4Addr::new(10, 0, 0, 3)),
+            Some(MacAddr::from_index(3)),
+            "static entries never expire"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a small switched LAN, poison a victim's ARP cache,
+//! watch an arpwatch-style monitor catch it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use arpshield::analysis::metrics::score_attack_run;
+use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
+use arpshield::attacks::PoisonVariant;
+use arpshield::schemes::SchemeKind;
+
+fn main() {
+    println!("== arpshield quickstart ==\n");
+    println!("Scenario: 8 hosts ping their gateway through one switch.");
+    println!("At t=3s an attacker broadcasts a forged ARP reply binding the");
+    println!("gateway's IP to its own MAC (classic arpspoof).\n");
+
+    for scheme in [SchemeKind::None, SchemeKind::Passive, SchemeKind::SArp] {
+        let config = ScenarioConfig::new(42)
+            .with_scheme(scheme)
+            .with_duration(Duration::from_secs(12));
+        let run = AttackScenario::poisoning(config, PoisonVariant::GratuitousReply).run();
+        let outcome = score_attack_run(&run);
+
+        println!("--- defence: {scheme} ---");
+        println!("  victim poisoned at any point: {}", !outcome.prevented);
+        println!(
+            "  fraction of post-attack time poisoned: {:.0}%",
+            outcome.poisoned_fraction * 100.0
+        );
+        match outcome.detection_latency {
+            Some(lat) => println!("  detected {:?} after the first forged frame", lat),
+            None if outcome.prevented => println!("  nothing to detect: the forgery never landed"),
+            None => println!("  NOT detected"),
+        }
+        println!(
+            "  victim ping delivery through the run: {:.1}%",
+            outcome.victim_delivery * 100.0
+        );
+        let wire = run.lan.sim.wire_stats();
+        println!("  wire traffic: {} frames, {} bytes\n", wire.frames, wire.bytes);
+    }
+
+    println!("The pattern of the whole analysis in miniature:");
+    println!("  none    -> poisoned, nobody noticed;");
+    println!("  passive -> poisoned, but an alarm fired within milliseconds;");
+    println!("  s-arp   -> the forged reply was rejected outright (prevention).");
+    println!("\nRun `cargo run --release -p arpshield-bench --bin reproduce` for");
+    println!("the full table/figure suite (T1-T5, F1-F6).");
+}

@@ -1,0 +1,17 @@
+//! Regenerates the two headline matrices (T2 susceptibility, T3
+//! coverage) and prints them — the paper's analysis at a glance.
+//!
+//! ```text
+//! cargo run --release --example scheme_matrix
+//! ```
+
+use arpshield::analysis::experiment::{t2_susceptibility, t3_coverage};
+use arpshield::analysis::taxonomy;
+
+fn main() {
+    println!("{}", taxonomy::table().render());
+    println!("{}", t2_susceptibility(42).render());
+    println!("{}", t3_coverage(42).render());
+    println!("legend: P = prevented (cache never poisoned), D(x) = detected x after");
+    println!("the first forged frame, P+D = both, '-' = the attack went unnoticed.");
+}

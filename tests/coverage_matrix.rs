@@ -1,0 +1,132 @@
+//! End-to-end assertions on the coverage matrix (T3): the qualitative
+//! conclusions of the analysis, checked cell by cell against live runs.
+
+use std::time::Duration;
+
+use arpshield::analysis::metrics::{score_attack_run, AttackOutcome};
+use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
+use arpshield::attacks::PoisonVariant;
+use arpshield::host::ArpPolicy;
+use arpshield::schemes::SchemeKind;
+
+fn run_cell(scheme: SchemeKind, variant: PoisonVariant) -> AttackOutcome {
+    let config = ScenarioConfig::new(0xC0FFEE)
+        .with_hosts(4)
+        .with_scheme(scheme)
+        .with_policy(ArpPolicy::Promiscuous)
+        .with_duration(Duration::from_secs(10))
+        .with_arp_timeout(Duration::from_secs(4));
+    score_attack_run(&AttackScenario::poisoning(config, variant).run())
+}
+
+/// Baseline: everything lands, nothing is noticed.
+#[test]
+fn baseline_misses_everything() {
+    for variant in PoisonVariant::all() {
+        let o = run_cell(SchemeKind::None, variant);
+        assert!(!o.prevented, "{variant}: baseline cannot prevent");
+        assert!(!o.detected, "{variant}: baseline cannot detect");
+    }
+}
+
+/// Static entries prevent every variant — the oldest scheme is the most
+/// complete, which is exactly why its management cost matters.
+#[test]
+fn static_arp_prevents_everything() {
+    for variant in PoisonVariant::all() {
+        let o = run_cell(SchemeKind::StaticArp, variant);
+        assert!(o.prevented, "{variant}: static entries must hold");
+        assert_eq!(o.poisoned_fraction, 0.0);
+    }
+}
+
+/// The passive monitor detects every variant (they all flip a binding it
+/// has already learned) but prevents none.
+#[test]
+fn passive_detects_all_prevents_none() {
+    for variant in PoisonVariant::all() {
+        let o = run_cell(SchemeKind::Passive, variant);
+        assert!(o.detected, "{variant}: the flip must be seen");
+        assert!(!o.prevented, "{variant}: alarms do not heal caches");
+    }
+}
+
+/// Anticap's precise coverage boundary: unsolicited *replies* are
+/// stopped; request-borne forgery and the solicited race get through.
+#[test]
+fn anticap_boundary() {
+    for (variant, should_prevent) in [
+        (PoisonVariant::GratuitousReply, true),
+        (PoisonVariant::UnicastReply, true),
+        (PoisonVariant::BlackholeDos, true),
+        (PoisonVariant::GratuitousRequest, false),
+        (PoisonVariant::UnicastRequestProbeStuffing, false),
+        (PoisonVariant::ReplyToRequestRace, false),
+    ] {
+        let o = run_cell(SchemeKind::Anticap, variant);
+        assert_eq!(
+            o.prevented, should_prevent,
+            "{variant}: anticap prevention boundary violated (outcome {o:?})"
+        );
+    }
+}
+
+/// Antidote defends any *live* incumbent binding, whatever the delivery
+/// variant.
+#[test]
+fn antidote_defends_live_incumbents() {
+    for variant in [
+        PoisonVariant::GratuitousReply,
+        PoisonVariant::UnicastReply,
+        PoisonVariant::GratuitousRequest,
+        PoisonVariant::BlackholeDos,
+    ] {
+        let o = run_cell(SchemeKind::Antidote, variant);
+        assert!(o.prevented, "{variant}: incumbent was alive, takeover must fail");
+        assert!(o.detected, "{variant}: the rejected takeover is reported");
+    }
+}
+
+/// The cryptographic schemes and the switch-fabric scheme prevent every
+/// variant — the paper's "complete" answers, each with its own cost.
+#[test]
+fn sarp_tarp_and_dai_prevent_everything() {
+    for scheme in [SchemeKind::SArp, SchemeKind::Tarp, SchemeKind::Dai] {
+        for variant in PoisonVariant::all() {
+            let o = run_cell(scheme, variant);
+            assert!(o.prevented, "{scheme}/{variant}: must prevent (outcome {o:?})");
+            assert!(
+                o.victim_delivery > 0.9,
+                "{scheme}/{variant}: protection must not break service ({})",
+                o.victim_delivery
+            );
+        }
+    }
+}
+
+/// Port security does nothing about binding forgery — it solves a
+/// different problem (flooding).
+#[test]
+fn port_security_orthogonal_to_poisoning() {
+    let o = run_cell(SchemeKind::PortSecurity, PoisonVariant::GratuitousReply);
+    assert!(!o.prevented);
+    assert!(!o.detected);
+}
+
+/// Detection latencies order as the mechanisms predict: passive/stateful
+/// flag the first forged frame almost instantly, the prober pays its
+/// probe window.
+#[test]
+fn detection_latency_ordering() {
+    let passive = run_cell(SchemeKind::Passive, PoisonVariant::GratuitousReply)
+        .detection_latency
+        .unwrap();
+    let probe = run_cell(SchemeKind::ActiveProbe, PoisonVariant::GratuitousReply)
+        .detection_latency
+        .unwrap();
+    assert!(passive < Duration::from_millis(5), "passive latency {passive:?}");
+    assert!(
+        probe >= Duration::from_millis(250) && probe <= Duration::from_millis(500),
+        "probe latency should be dominated by its 300 ms window, got {probe:?}"
+    );
+}
