@@ -72,12 +72,8 @@ impl DhcpStarver {
     fn send_dhcp(&mut self, ctx: &mut DeviceCtx<'_>, src_mac: MacAddr, msg: &DhcpMessage) {
         let dgram = UdpDatagram::new(DHCP_CLIENT_PORT, DHCP_SERVER_PORT, msg.encode())
             .encode(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST);
-        let pkt = Ipv4Packet::new(
-            Ipv4Addr::UNSPECIFIED,
-            Ipv4Addr::BROADCAST,
-            IpProtocol::Udp,
-            dgram,
-        );
+        let pkt =
+            Ipv4Packet::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
         let frame = EthernetFrame::new(MacAddr::BROADCAST, src_mac, EtherType::Ipv4, pkt.encode());
         ctx.send(PortId(0), frame.encode());
     }

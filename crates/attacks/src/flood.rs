@@ -138,10 +138,8 @@ mod tests {
     #[test]
     fn flood_fills_cam_and_respects_total() {
         let mut sim = Simulator::new(9);
-        let (sw, handle) = Switch::new(
-            "sw",
-            SwitchConfig { ports: 4, cam_capacity: 64, ..Default::default() },
-        );
+        let (sw, handle) =
+            Switch::new("sw", SwitchConfig { ports: 4, cam_capacity: 64, ..Default::default() });
         let sw = sim.add_device(Box::new(sw));
         let truth = GroundTruth::new();
         let flooder = MacFlooder::new(
@@ -162,10 +160,7 @@ mod tests {
         assert!(handle.stats.borrow().cam_full_events >= 100);
         // Ground truth recorded bursts.
         assert!(truth.len() >= 4);
-        assert!(truth
-            .events()
-            .iter()
-            .all(|e| matches!(e.kind, AttackKind::MacFlood { .. })));
+        assert!(truth.events().iter().all(|e| matches!(e.kind, AttackKind::MacFlood { .. })));
     }
 
     #[test]

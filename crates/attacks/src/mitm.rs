@@ -134,7 +134,8 @@ impl Device for MitmRelay {
         self.stats.intercepted_bytes += pkt.payload.len() as u64;
         // An attacker could tamper here; we relay verbatim to stay covert.
         let _ = IpProtocol::Udp; // (payload protocols pass through untouched)
-        let out = EthernetFrame::new(real_dst, self.config.attacker_mac, EtherType::Ipv4, eth.payload);
+        let out =
+            EthernetFrame::new(real_dst, self.config.attacker_mac, EtherType::Ipv4, eth.payload);
         ctx.send(PortId(0), out.encode());
     }
 }

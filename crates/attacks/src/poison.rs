@@ -292,7 +292,10 @@ mod tests {
         assert_eq!(pkt.op, ArpOp::Request);
         assert!(pkt.is_gratuitous());
 
-        let p = ArpPoisoner::new(config(PoisonVariant::UnicastRequestProbeStuffing), GroundTruth::new());
+        let p = ArpPoisoner::new(
+            config(PoisonVariant::UnicastRequestProbeStuffing),
+            GroundTruth::new(),
+        );
         let pkt = p.forged_packet();
         assert_eq!(pkt.op, ArpOp::Request);
         assert_eq!(pkt.target_ip, Ipv4Addr::new(10, 0, 0, 2));

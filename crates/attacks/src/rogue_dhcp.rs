@@ -62,7 +62,13 @@ impl RogueDhcpServer {
         RogueDhcpServer { config, truth, active: false, next_ip: 0, stats: RogueStats::default() }
     }
 
-    fn reply(&mut self, ctx: &mut DeviceCtx<'_>, kind: DhcpMessageType, client: &DhcpMessage, yiaddr: Ipv4Addr) {
+    fn reply(
+        &mut self,
+        ctx: &mut DeviceCtx<'_>,
+        kind: DhcpMessageType,
+        client: &DhcpMessage,
+        yiaddr: Ipv4Addr,
+    ) {
         let msg = DhcpMessage::reply(
             kind,
             client,
@@ -76,8 +82,12 @@ impl RogueDhcpServer {
             .encode(self.config.server_ip, Ipv4Addr::BROADCAST);
         let pkt =
             Ipv4Packet::new(self.config.server_ip, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
-        let frame =
-            EthernetFrame::new(client.chaddr, self.config.attacker_mac, EtherType::Ipv4, pkt.encode());
+        let frame = EthernetFrame::new(
+            client.chaddr,
+            self.config.attacker_mac,
+            EtherType::Ipv4,
+            pkt.encode(),
+        );
         ctx.send(PortId(0), frame.encode());
         self.truth.record(AttackEvent {
             at: ctx.now(),

@@ -147,9 +147,7 @@ fn reply_race_defeats_no_unsolicited_policy() {
     let gw_id = lan.sim.add_device(Box::new(gw_host));
     let port = lan.next_port;
     lan.next_port += 1;
-    lan.sim
-        .connect(gw_id, PortId(0), lan.switch, PortId(port), Duration::from_millis(2))
-        .unwrap();
+    lan.sim.connect(gw_id, PortId(0), lan.switch, PortId(port), Duration::from_millis(2)).unwrap();
 
     let (mut victim, victim_h) = Host::new(
         HostConfig::static_ip("victim", mac(2), ip(2), cidr())
@@ -289,10 +287,8 @@ fn starvation_then_rogue_capture() {
 
     // A legitimate client arrives after the pool is gone.
     let late_client = {
-        let cfg = DhcpClientConfig {
-            start_delay: Duration::from_secs(6),
-            ..DhcpClientConfig::default()
-        };
+        let cfg =
+            DhcpClientConfig { start_delay: Duration::from_secs(6), ..DhcpClientConfig::default() };
         lan.add_host(HostConfig::dhcp("late", mac(7), cfg))
     };
 

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use arpshield_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use arpshield_netsim::SimTime;
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
@@ -45,14 +45,8 @@ fn bench_stateful_ablation(c: &mut Criterion) {
     let stream = traffic(2048);
     let configs: [(&str, StatefulConfig); 4] = [
         ("full", StatefulConfig::default()),
-        (
-            "no_l2_check",
-            StatefulConfig { check_l2_consistency: false, ..Default::default() },
-        ),
-        (
-            "no_binding_db",
-            StatefulConfig { track_bindings: false, ..Default::default() },
-        ),
+        ("no_l2_check", StatefulConfig { check_l2_consistency: false, ..Default::default() }),
+        ("no_binding_db", StatefulConfig { track_bindings: false, ..Default::default() }),
         (
             "reply_matching_only",
             StatefulConfig {

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use arpshield_testkit::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use arpshield_attacks::{GroundTruth, MacFlooder, MacFlooderConfig};
@@ -37,8 +37,7 @@ fn bench_cam(c: &mut Criterion) {
     group.bench_function("macof_one_second", |b| {
         b.iter(|| {
             let mut sim = Simulator::new(3);
-            let (sw, handle) =
-                Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+            let (sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
             let sw = sim.add_device(Box::new(sw));
             let flooder = MacFlooder::new(
                 MacFlooderConfig::macof_rate(MacAddr::from_index(66)),

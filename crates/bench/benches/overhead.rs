@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use arpshield_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use arpshield_core::scenario::lan::build;
 use arpshield_core::scenario::ScenarioConfig;

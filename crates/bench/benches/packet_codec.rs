@@ -1,6 +1,6 @@
 //! Throughput of the wire-format codecs every monitor runs per packet.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use arpshield_testkit::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use arpshield_packet::{

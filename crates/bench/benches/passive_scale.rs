@@ -1,7 +1,7 @@
 //! Passive-monitor database scalability: observation cost as the
 //! station database grows (figure F5's micro-level companion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use arpshield_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use arpshield_netsim::SimTime;
@@ -11,7 +11,11 @@ use arpshield_schemes::{AlertLog, PassiveConfig, PassiveMonitor};
 fn monitor_with_stations(n: u32) -> PassiveMonitor {
     let mut m = PassiveMonitor::new(PassiveConfig::default(), AlertLog::new());
     for i in 0..n {
-        m.observe(SimTime::from_secs(1), Ipv4Addr::from_u32(0x0a00_0000 + i), MacAddr::from_index(i));
+        m.observe(
+            SimTime::from_secs(1),
+            Ipv4Addr::from_u32(0x0a00_0000 + i),
+            MacAddr::from_index(i),
+        );
     }
     m
 }

@@ -2,7 +2,7 @@
 //! header inspection, one SHA-256, one Schnorr sign, and one verify
 //! actually cost on this machine (F3's micro-level companion).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use arpshield_testkit::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use arpshield_crypto::{hmac_sha256, sha256, Akd, KeyPair};
@@ -34,9 +34,7 @@ fn bench_crypto(c: &mut Criterion) {
     let msg = b"10.0.0.1 is-at 02:00:00:00:00:64 @ t=123456789";
     group.throughput(Throughput::Bytes(msg.len() as u64));
     group.bench_function("sha256_short", |b| b.iter(|| sha256(black_box(msg))));
-    group.bench_function("hmac_sha256_short", |b| {
-        b.iter(|| hmac_sha256(b"key", black_box(msg)))
-    });
+    group.bench_function("hmac_sha256_short", |b| b.iter(|| hmac_sha256(b"key", black_box(msg))));
 
     let kp = KeyPair::from_seed(42);
     group.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(black_box(msg))));

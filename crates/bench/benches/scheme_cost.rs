@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use arpshield_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use arpshield_attacks::PoisonVariant;
 use arpshield_core::scenario::{AttackScenario, ScenarioConfig};

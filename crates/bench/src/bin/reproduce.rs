@@ -11,9 +11,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use arpshield_core::experiment::{
-    f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time,
-    f5_passive_scale, f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage,
-    t4_false_positives, t5_cost, t6_dos_coverage,
+    f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time, f5_passive_scale,
+    f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage, t4_false_positives,
+    t5_cost, t6_dos_coverage,
 };
 use arpshield_core::{taxonomy, Series, Table};
 

@@ -33,12 +33,7 @@ pub fn t5_cost(seed: u64) -> Table {
             .with_duration(Duration::from_secs(15));
         let run = AttackScenario::poisoning(config, PoisonVariant::UnicastReply).run();
         let scheme_work = run.lan.alerts.total_work();
-        let host_work: u64 = run
-            .lan
-            .hosts
-            .iter()
-            .map(|h| h.stats.borrow().work_units)
-            .sum::<u64>()
+        let host_work: u64 = run.lan.hosts.iter().map(|h| h.stats.borrow().work_units).sum::<u64>()
             + run.lan.gateway.stats.borrow().work_units;
         let wire = run.lan.sim.wire_stats();
         table.row([
@@ -71,10 +66,7 @@ mod tests {
         // inspections — the paper's central cost contrast.
         let sarp_total = col("sarp", 1) + col("sarp", 2);
         let passive_total = col("passive", 1) + col("passive", 2);
-        assert!(
-            sarp_total > 5.0 * passive_total,
-            "sarp {sarp_total} vs passive {passive_total}"
-        );
+        assert!(sarp_total > 5.0 * passive_total, "sarp {sarp_total} vs passive {passive_total}");
         // The baseline spends nothing.
         assert_eq!(col("none", 1), 0.0);
         assert_eq!(col("none", 2), 0.0);

@@ -37,10 +37,8 @@ pub fn f6_flood_dynamics(seed: u64) -> Vec<Series> {
         };
         let (switch, handle) = Switch::new("sw", config);
         let switch = sim.add_device(Box::new(switch));
-        let flooder = MacFlooder::new(
-            MacFlooderConfig::macof_rate(addr::attacker_mac()),
-            GroundTruth::new(),
-        );
+        let flooder =
+            MacFlooder::new(MacFlooderConfig::macof_rate(addr::attacker_mac()), GroundTruth::new());
         let f = sim.add_device(Box::new(flooder));
         sim.connect(f, PortId(0), switch, PortId(1), Duration::from_micros(5)).unwrap();
 

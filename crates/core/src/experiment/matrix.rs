@@ -65,7 +65,8 @@ pub fn t3_coverage(seed: u64) -> Table {
     let mut headers: Vec<String> = vec!["scheme \\ attack".to_string()];
     headers.extend(attacks.iter().map(|a| a.label().to_string()));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = Table::new("T3: scheme x attack coverage (P=prevented, D=detected)", &header_refs);
+    let mut table =
+        Table::new("T3: scheme x attack coverage (P=prevented, D=detected)", &header_refs);
     for scheme in SchemeKind::all() {
         let mut row = vec![scheme.label().to_string()];
         for variant in &attacks {

@@ -20,8 +20,8 @@ pub use dynamics::{f6_flood_dynamics, f6_starvation_dynamics};
 pub use fp::t4_false_positives;
 pub use latency::{f1_detection_latency, f3_resolution_latency};
 pub use matrix::{t2_susceptibility, t3_coverage};
-pub use poisoned::f4_poisoned_time;
 pub use overhead::{f2_overhead, f5_passive_scale};
+pub use poisoned::f4_poisoned_time;
 
 /// The scheme subset the detection-latency figure sweeps (the ones that
 /// raise alerts at all).

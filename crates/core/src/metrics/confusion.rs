@@ -53,8 +53,7 @@ impl AttackOutcome {
 /// incident, even if attribution is inverted; the passive monitor's
 /// learning-window weakness shows up this way.)
 pub fn score_attack_run(run: &CompletedRun) -> AttackOutcome {
-    let first_emission: Option<SimTime> =
-        run.lan.truth.events().first().map(|e| e.at);
+    let first_emission: Option<SimTime> = run.lan.truth.events().first().map(|e| e.at);
     let samples = run.samples.borrow();
     let poisoned_fraction = samples.poisoned_fraction_since(run.attack_start);
     let prevented = !samples.ever_poisoned();
@@ -70,8 +69,7 @@ pub fn score_attack_run(run: &CompletedRun) -> AttackOutcome {
                 continue;
             }
             let names_ip = alert.subject_ip.map(|ip| forged_ips.contains(&ip)).unwrap_or(false);
-            let names_mac =
-                alert.observed_mac.map(|m| claimed_macs.contains(&m)).unwrap_or(false);
+            let names_mac = alert.observed_mac.map(|m| claimed_macs.contains(&m)).unwrap_or(false);
             if names_ip || names_mac {
                 detection_at = Some(alert.at);
                 break;
@@ -80,15 +78,12 @@ pub fn score_attack_run(run: &CompletedRun) -> AttackOutcome {
     }
 
     let p = run.lan.pings[0].borrow();
-    let victim_delivery =
-        if p.sent == 0 { 0.0 } else { p.received as f64 / p.sent as f64 };
+    let victim_delivery = if p.sent == 0 { 0.0 } else { p.received as f64 / p.sent as f64 };
 
     AttackOutcome {
         prevented,
         detected: detection_at.is_some(),
-        detection_latency: detection_at
-            .zip(first_emission)
-            .map(|(d, s)| d.saturating_since(s)),
+        detection_latency: detection_at.zip(first_emission).map(|(d, s)| d.saturating_since(s)),
         poisoned_fraction,
         victim_delivery,
         alerts: run.lan.alerts.len(),

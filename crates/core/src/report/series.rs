@@ -24,7 +24,11 @@ pub struct Series {
 
 impl Series {
     /// Creates an empty series.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Series {
             title: title.into(),
             x_label: x_label.into(),
@@ -97,7 +101,11 @@ impl Series {
     }
 
     /// Builds an empirical CDF series from raw samples (any order).
-    pub fn cdf(title: impl Into<String>, x_label: impl Into<String>, mut samples: Vec<f64>) -> Self {
+    pub fn cdf(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        mut samples: Vec<f64>,
+    ) -> Self {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let mut s = Series::new(title, x_label, "cum_fraction");
         let n = samples.len();

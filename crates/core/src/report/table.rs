@@ -146,8 +146,7 @@ mod tests {
         let lines: Vec<_> = text.lines().collect();
         // title + 3 rules + header + 2 rows
         assert_eq!(lines.len(), 7);
-        let widths: std::collections::HashSet<usize> =
-            lines[1..].iter().map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = lines[1..].iter().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "all body lines equally wide: {text}");
     }
 

@@ -96,34 +96,40 @@ impl AttackScenario {
         let fast = Duration::from_micros(1); // attacker fast path; see attach_with_latency
         match self.spec {
             AttackSpec::Poison(variant) => {
-                lan.attach_with_latency(Box::new(ArpPoisoner::new(
-                    PoisonConfig {
-                        attacker_mac: addr::attacker_mac(),
-                        variant,
-                        victim_ip: addr::GATEWAY_IP,
-                        claimed_mac: if variant == PoisonVariant::BlackholeDos {
-                            arpshield_packet::MacAddr::new([0x02, 0xde, 0xad, 0, 0, 1])
-                        } else {
-                            addr::attacker_mac()
+                lan.attach_with_latency(
+                    Box::new(ArpPoisoner::new(
+                        PoisonConfig {
+                            attacker_mac: addr::attacker_mac(),
+                            variant,
+                            victim_ip: addr::GATEWAY_IP,
+                            claimed_mac: if variant == PoisonVariant::BlackholeDos {
+                                arpshield_packet::MacAddr::new([0x02, 0xde, 0xad, 0, 0, 1])
+                            } else {
+                                addr::attacker_mac()
+                            },
+                            target: Some((addr::host_ip(0), addr::host_mac(0))),
+                            start_delay: config.attack_start,
+                            repeat: Some(Duration::from_secs(2)),
                         },
-                        target: Some((addr::host_ip(0), addr::host_mac(0))),
-                        start_delay: config.attack_start,
-                        repeat: Some(Duration::from_secs(2)),
-                    },
-                    truth,
-                )), fast);
+                        truth,
+                    )),
+                    fast,
+                );
             }
             AttackSpec::Mitm => {
-                lan.attach_with_latency(Box::new(MitmRelay::new(
-                    MitmRelayConfig {
-                        attacker_mac: addr::attacker_mac(),
-                        side_a: (addr::GATEWAY_IP, addr::gateway_mac()),
-                        side_b: (addr::host_ip(0), addr::host_mac(0)),
-                        start_delay: config.attack_start,
-                        repeat: Duration::from_secs(2),
-                    },
-                    truth,
-                )), fast);
+                lan.attach_with_latency(
+                    Box::new(MitmRelay::new(
+                        MitmRelayConfig {
+                            attacker_mac: addr::attacker_mac(),
+                            side_a: (addr::GATEWAY_IP, addr::gateway_mac()),
+                            side_b: (addr::host_ip(0), addr::host_mac(0)),
+                            start_delay: config.attack_start,
+                            repeat: Duration::from_secs(2),
+                        },
+                        truth,
+                    )),
+                    fast,
+                );
             }
             AttackSpec::Flood => {
                 lan.attach(Box::new(MacFlooder::new(
@@ -189,7 +195,9 @@ mod tests {
     #[test]
     fn mitm_poisons_and_relays() {
         let run = AttackScenario::mitm(
-            ScenarioConfig::new(7).with_hosts(2).with_policy(arpshield_host::ArpPolicy::Promiscuous),
+            ScenarioConfig::new(7)
+                .with_hosts(2)
+                .with_policy(arpshield_host::ArpPolicy::Promiscuous),
         )
         .run();
         assert!(run.samples.borrow().ever_poisoned());

@@ -18,7 +18,6 @@ use arpshield_host::{Host, HostConfig, HostHandle};
 use arpshield_netsim::SimTime;
 use arpshield_packet::MacAddr;
 
-
 use crate::scenario::lan::{addr, build, BuiltLan, ScenarioConfig};
 
 /// Churn intensity knobs.
@@ -116,15 +115,17 @@ impl BenignScenario {
                 lease_hold: Some(self.churn.lease_hold + Duration::from_millis(900 * i as u64)),
             };
             let (mut roamer, handle) = Host::new(
-                HostConfig::dhcp(format!("roamer{i}"), MacAddr::from_index(4000 + i as u32), client_cfg)
-                    .with_gratuitous_announce(),
+                HostConfig::dhcp(
+                    format!("roamer{i}"),
+                    MacAddr::from_index(4000 + i as u32),
+                    client_cfg,
+                )
+                .with_gratuitous_announce(),
             );
             // Roamers talk to the gateway like any station would, so their
             // (churning) bindings circulate in ARP traffic.
-            let (ping, _) = arpshield_host::apps::PingApp::new(
-                addr::GATEWAY_IP,
-                Duration::from_millis(500),
-            );
+            let (ping, _) =
+                arpshield_host::apps::PingApp::new(addr::GATEWAY_IP, Duration::from_millis(500));
             roamer.add_app(Box::new(ping));
             lan.attach(Box::new(roamer));
             roamers.push(handle);
@@ -157,15 +158,10 @@ mod tests {
 
     #[test]
     fn churn_actually_churns() {
-        let config = ScenarioConfig::new(8)
-            .with_hosts(2)
-            .with_duration(Duration::from_secs(25));
+        let config = ScenarioConfig::new(8).with_hosts(2).with_duration(Duration::from_secs(25));
         let run = BenignScenario::new(config, ChurnConfig::default()).run();
-        let total_acquisitions: u64 = run
-            .roamers
-            .iter()
-            .map(|r| r.dhcp_client.as_ref().unwrap().borrow().acquisitions)
-            .sum();
+        let total_acquisitions: u64 =
+            run.roamers.iter().map(|r| r.dhcp_client.as_ref().unwrap().borrow().acquisitions).sum();
         assert!(total_acquisitions >= 4, "expected lease churn, got {total_acquisitions}");
     }
 

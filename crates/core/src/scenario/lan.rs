@@ -14,10 +14,9 @@ use arpshield_netsim::{
 };
 use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
 use arpshield_schemes::{
-    static_arp, ActiveProbeConfig, ActiveProbeMonitor, AkdApp, AlertLog, AnticapHook,
-    AntidoteHook, DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, RateConfig,
-    RateMonitor, SArpConfig, SArpHook, SchemeKind, StatefulConfig, StatefulMonitor, TarpConfig,
-    TarpHook, Ticket,
+    static_arp, ActiveProbeConfig, ActiveProbeMonitor, AkdApp, AlertLog, AnticapHook, AntidoteHook,
+    DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, RateConfig, RateMonitor, SArpConfig,
+    SArpHook, SchemeKind, StatefulConfig, StatefulMonitor, TarpConfig, TarpHook, Ticket,
 };
 
 /// Addressing constants of the standard LAN.
@@ -382,8 +381,7 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
 
     // --- Static entries ---
     if scheme == SchemeKind::StaticArp {
-        let mut bindings: Vec<(Ipv4Addr, MacAddr)> =
-            vec![(addr::GATEWAY_IP, addr::gateway_mac())];
+        let mut bindings: Vec<(Ipv4Addr, MacAddr)> = vec![(addr::GATEWAY_IP, addr::gateway_mac())];
         for i in 0..config.n_hosts {
             bindings.push((addr::host_ip(i), addr::host_mac(i)));
         }
@@ -421,10 +419,9 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
                 ActiveProbeConfig::new(MacAddr::from_index(9000)),
                 alerts.clone(),
             ))),
-            SchemeKind::RateMonitor => attach_monitor(Box::new(RateMonitor::new(
-                RateConfig::default(),
-                alerts.clone(),
-            ))),
+            SchemeKind::RateMonitor => {
+                attach_monitor(Box::new(RateMonitor::new(RateConfig::default(), alerts.clone())))
+            }
             SchemeKind::Hybrid => {
                 attach_monitor(Box::new(StatefulMonitor::new(
                     StatefulConfig::default(),
@@ -499,7 +496,8 @@ mod tests {
 
     #[test]
     fn static_arp_lan_sends_no_arp() {
-        let mut lan = build(ScenarioConfig::new(3).with_scheme(SchemeKind::StaticArp).with_hosts(3));
+        let mut lan =
+            build(ScenarioConfig::new(3).with_scheme(SchemeKind::StaticArp).with_hosts(3));
         lan.sim.run_until(SimTime::from_secs(5));
         for h in &lan.hosts {
             assert_eq!(h.stats.borrow().arp_requests_sent, 0);

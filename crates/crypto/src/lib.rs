@@ -40,8 +40,8 @@
 #![warn(missing_docs)]
 
 pub mod akd;
-pub mod field;
 mod error;
+pub mod field;
 mod hmac;
 mod schnorr;
 mod sha256;

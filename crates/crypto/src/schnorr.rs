@@ -97,8 +97,7 @@ impl PublicKey {
     /// Returns [`CryptoError::MalformedSignature`] for truncated or
     /// out-of-group encodings.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
-        let arr: [u8; 16] =
-            bytes.try_into().map_err(|_| CryptoError::MalformedSignature)?;
+        let arr: [u8; 16] = bytes.try_into().map_err(|_| CryptoError::MalformedSignature)?;
         PublicKey::from_element(u128::from_be_bytes(arr))
     }
 
@@ -187,10 +186,7 @@ mod tests {
     fn rejects_tampered_message() {
         let kp = KeyPair::from_seed(1);
         let sig = kp.sign(b"binding A");
-        assert_eq!(
-            kp.public_key().verify(b"binding B", &sig),
-            Err(CryptoError::InvalidSignature)
-        );
+        assert_eq!(kp.public_key().verify(b"binding B", &sig), Err(CryptoError::InvalidSignature));
     }
 
     #[test]

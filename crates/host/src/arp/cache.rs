@@ -102,8 +102,7 @@ impl ArpCache {
 
     /// Installs a static binding, displacing anything dynamic.
     pub fn insert_static(&mut self, now: SimTime, ip: Ipv4Addr, mac: MacAddr) {
-        self.entries
-            .insert(ip, ArpEntry { mac, updated_at: now, origin: EntryOrigin::Static });
+        self.entries.insert(ip, ArpEntry { mac, updated_at: now, origin: EntryOrigin::Static });
     }
 
     /// Removes a binding (static or not). Returns the removed entry.
@@ -115,8 +114,7 @@ impl ArpCache {
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let timeout = self.timeout;
         let before = self.entries.len();
-        self.entries
-            .retain(|_, e| e.is_static() || now.saturating_since(e.updated_at) < timeout);
+        self.entries.retain(|_, e| e.is_static() || now.saturating_since(e.updated_at) < timeout);
         before - self.entries.len()
     }
 
@@ -181,12 +179,7 @@ mod tests {
     fn dynamic_overwrite_updates_origin() {
         let mut c = cache();
         c.insert_dynamic(SimTime::ZERO, IP, MAC_A, EntryOrigin::Request);
-        assert!(c.insert_dynamic(
-            SimTime::from_secs(1),
-            IP,
-            MAC_B,
-            EntryOrigin::UnsolicitedReply
-        ));
+        assert!(c.insert_dynamic(SimTime::from_secs(1), IP, MAC_B, EntryOrigin::UnsolicitedReply));
         let e = c.entry(IP).unwrap();
         assert_eq!(e.mac, MAC_B);
         assert_eq!(e.origin, EntryOrigin::UnsolicitedReply);
@@ -198,7 +191,12 @@ mod tests {
         let mut c = cache();
         c.insert_static(SimTime::ZERO, Ipv4Addr::new(10, 0, 0, 1), MAC_A);
         c.insert_dynamic(SimTime::ZERO, IP, MAC_A, EntryOrigin::Request);
-        c.insert_dynamic(SimTime::from_secs(30), Ipv4Addr::new(10, 0, 0, 3), MAC_B, EntryOrigin::Request);
+        c.insert_dynamic(
+            SimTime::from_secs(30),
+            Ipv4Addr::new(10, 0, 0, 3),
+            MAC_B,
+            EntryOrigin::Request,
+        );
         assert_eq!(c.sweep(SimTime::from_secs(61)), 1);
         assert_eq!(c.len(), 2);
     }

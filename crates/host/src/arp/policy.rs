@@ -156,7 +156,10 @@ mod tests {
     fn promiscuous_accepts_everything() {
         let p = ArpPolicy::Promiscuous;
         assert_eq!(p.admit(&reply(), ctx(false, false, false, true)), CacheVerdict::CreateOrUpdate);
-        assert_eq!(p.admit(&request(), ctx(false, false, false, false)), CacheVerdict::CreateOrUpdate);
+        assert_eq!(
+            p.admit(&request(), ctx(false, false, false, false)),
+            CacheVerdict::CreateOrUpdate
+        );
     }
 
     #[test]
@@ -169,7 +172,10 @@ mod tests {
         // Solicited reply: create.
         assert_eq!(p.admit(&reply(), ctx(false, true, true, true)), CacheVerdict::CreateOrUpdate);
         // Request addressed to us: create (we'll likely answer it anyway).
-        assert_eq!(p.admit(&request(), ctx(false, false, true, false)), CacheVerdict::CreateOrUpdate);
+        assert_eq!(
+            p.admit(&request(), ctx(false, false, true, false)),
+            CacheVerdict::CreateOrUpdate
+        );
         // Request for someone else, no entry: ignore.
         assert_eq!(p.admit(&request(), ctx(false, false, false, false)), CacheVerdict::Ignore);
     }

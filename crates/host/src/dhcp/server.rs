@@ -116,12 +116,8 @@ impl DhcpServer {
         let now = api.now();
         {
             let mut st = self.state.borrow_mut();
-            let expired: Vec<MacAddr> = st
-                .leases
-                .iter()
-                .filter(|(_, l)| l.expires <= now)
-                .map(|(m, _)| *m)
-                .collect();
+            let expired: Vec<MacAddr> =
+                st.leases.iter().filter(|(_, l)| l.expires <= now).map(|(m, _)| *m).collect();
             for mac in expired {
                 if let Some(lease) = st.leases.remove(&mac) {
                     st.by_ip.remove(&lease.ip);
@@ -143,12 +139,8 @@ impl DhcpServer {
                 return Some(offer.ip);
             }
         }
-        let offered: std::collections::HashSet<Ipv4Addr> = st
-            .offers
-            .values()
-            .filter(|o| o.expires > now)
-            .map(|o| o.ip)
-            .collect();
+        let offered: std::collections::HashSet<Ipv4Addr> =
+            st.offers.values().filter(|o| o.expires > now).map(|o| o.ip).collect();
         (0..self.config.pool_size)
             .map(|i| Ipv4Addr::from_u32(self.config.pool_start.to_u32() + i))
             .find(|ip| !st.by_ip.contains_key(ip) && !offered.contains(ip))

@@ -135,8 +135,12 @@ impl HostApi<'_, '_> {
     pub fn send_arp_probe(&mut self, target_ip: Ipv4Addr) {
         let mac = self.mac();
         let probe = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, target_ip);
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, mac, arpshield_packet::EtherType::ARP, probe.encode());
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            mac,
+            arpshield_packet::EtherType::ARP,
+            probe.encode(),
+        );
         self.send_frame(&frame);
         self.core.stats.borrow_mut().arp_requests_sent += 1;
     }

@@ -11,8 +11,12 @@ use arpshield_packet::{
 };
 
 use crate::apps::App;
-use crate::arp::{AdmitContext, ArpCache, ArpPolicy, CacheVerdict, EntryOrigin, PendingPacket, Resolver};
-use crate::dhcp::{DhcpClient, DhcpClientConfig, DhcpClientInfo, DhcpServer, DhcpServerConfig, DhcpServerState};
+use crate::arp::{
+    AdmitContext, ArpCache, ArpPolicy, CacheVerdict, EntryOrigin, PendingPacket, Resolver,
+};
+use crate::dhcp::{
+    DhcpClient, DhcpClientConfig, DhcpClientInfo, DhcpServer, DhcpServerConfig, DhcpServerState,
+};
 use crate::hooks::{ArpVerdict, FrameVerdict, HostApi, HostHook, TimerClass};
 use crate::iface::Interface;
 use crate::stats::HostStats;
@@ -275,7 +279,8 @@ impl HostCore {
         payload: Vec<u8>,
     ) {
         let src_ip = self.iface.borrow().ip().unwrap_or(Ipv4Addr::UNSPECIFIED);
-        let dgram = UdpDatagram::new(src_port, dst_port, payload).encode(src_ip, Ipv4Addr::BROADCAST);
+        let dgram =
+            UdpDatagram::new(src_port, dst_port, payload).encode(src_ip, Ipv4Addr::BROADCAST);
         self.transmit_ipv4(ctx, MacAddr::BROADCAST, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
     }
 
@@ -472,9 +477,12 @@ impl Host {
             EntryOrigin::Request
         };
         let learned = match verdict {
-            CacheVerdict::CreateOrUpdate => {
-                core.cache.borrow_mut().insert_dynamic(ctx.now(), arp.sender_ip, arp.sender_mac, origin)
-            }
+            CacheVerdict::CreateOrUpdate => core.cache.borrow_mut().insert_dynamic(
+                ctx.now(),
+                arp.sender_ip,
+                arp.sender_mac,
+                origin,
+            ),
             CacheVerdict::UpdateOnly => {
                 admit_ctx.have_entry
                     && core.cache.borrow_mut().insert_dynamic(
@@ -497,8 +505,7 @@ impl Host {
         // Answer requests (including RFC 5227 probes) for our address.
         if !is_reply && my_ip.is_some() && Some(arp.target_ip) == my_ip {
             let reply = ArpPacket::reply_to(arp, my_mac);
-            let frame =
-                EthernetFrame::new(arp.sender_mac, my_mac, EtherType::ARP, reply.encode());
+            let frame = EthernetFrame::new(arp.sender_mac, my_mac, EtherType::ARP, reply.encode());
             core.stats.borrow_mut().arp_replies_sent += 1;
             core.send_frame(ctx, &frame);
         }
@@ -535,14 +542,14 @@ impl Host {
                     IcmpType::EchoRequest if for_me && core.respond_to_ping => {
                         let reply = IcmpMessage::reply_to(&icmp);
                         // Reply along the reverse L2 path the request took.
-                        let ip_reply =
-                            Ipv4Packet::new(my_ip.unwrap(), pkt.src, IpProtocol::Icmp, reply.encode());
-                        let frame = EthernetFrame::new(
-                            eth.src,
-                            my_mac,
-                            EtherType::Ipv4,
-                            ip_reply.encode(),
+                        let ip_reply = Ipv4Packet::new(
+                            my_ip.unwrap(),
+                            pkt.src,
+                            IpProtocol::Icmp,
+                            reply.encode(),
                         );
+                        let frame =
+                            EthernetFrame::new(eth.src, my_mac, EtherType::Ipv4, ip_reply.encode());
                         core.stats.borrow_mut().icmp_echoes_answered += 1;
                         core.stats.borrow_mut().ipv4_sent += 1;
                         core.send_frame(ctx, &frame);
@@ -550,8 +557,7 @@ impl Host {
                     IcmpType::EchoReply if for_me => {
                         core.stats.borrow_mut().icmp_replies_received += 1;
                         for (i, app) in apps.iter_mut().enumerate() {
-                            let mut api =
-                                HostApi { core, ctx, class: TimerClass::App(i as u16) };
+                            let mut api = HostApi { core, ctx, class: TimerClass::App(i as u16) };
                             app.on_icmp_reply(&mut api, pkt.src, icmp.sequence);
                         }
                     }
@@ -722,16 +728,19 @@ mod tests {
     /// (sim, handles). Host i is on switch port i-1.
     fn lan(n: u8, build: impl Fn(u8, HostConfig) -> HostConfig) -> (Simulator, Vec<HostHandle>) {
         let mut sim = Simulator::new(7);
-        let (sw, _) = Switch::new(
-            "sw",
-            SwitchConfig { ports: usize::from(n) + 2, ..Default::default() },
-        );
+        let (sw, _) =
+            Switch::new("sw", SwitchConfig { ports: usize::from(n) + 2, ..Default::default() });
         let sw = sim.add_device(Box::new(sw));
         let mut handles = Vec::new();
         for i in 1..=n {
             let config = build(
                 i,
-                HostConfig::static_ip(format!("h{i}"), MacAddr::from_index(u32::from(i)), ip(i), cidr()),
+                HostConfig::static_ip(
+                    format!("h{i}"),
+                    MacAddr::from_index(u32::from(i)),
+                    ip(i),
+                    cidr(),
+                ),
             );
             let (host, handle) = Host::new(config);
             let id = sim.add_device(Box::new(host));
@@ -747,15 +756,17 @@ mod tests {
         mut mutate: impl FnMut(u8, &mut Host),
     ) -> (Simulator, Vec<HostHandle>) {
         let mut sim = Simulator::new(7);
-        let (sw, _) = Switch::new(
-            "sw",
-            SwitchConfig { ports: usize::from(n) + 2, ..Default::default() },
-        );
+        let (sw, _) =
+            Switch::new("sw", SwitchConfig { ports: usize::from(n) + 2, ..Default::default() });
         let sw = sim.add_device(Box::new(sw));
         let mut handles = Vec::new();
         for i in 1..=n {
-            let config =
-                HostConfig::static_ip(format!("h{i}"), MacAddr::from_index(u32::from(i)), ip(i), cidr());
+            let config = HostConfig::static_ip(
+                format!("h{i}"),
+                MacAddr::from_index(u32::from(i)),
+                ip(i),
+                cidr(),
+            );
             let (mut host, handle) = Host::new(config);
             mutate(i, &mut host);
             let id = sim.add_device(Box::new(host));
@@ -789,9 +800,15 @@ mod tests {
         assert!(stats.mean_rtt().unwrap() < Duration::from_millis(1));
         // ARP resolved once, cached thereafter.
         assert_eq!(alice_h.stats.borrow().resolutions_completed, 1);
-        assert_eq!(alice_h.cache.borrow().lookup(SimTime::from_secs(2), ip(2)), Some(MacAddr::from_index(2)));
+        assert_eq!(
+            alice_h.cache.borrow().lookup(SimTime::from_secs(2), ip(2)),
+            Some(MacAddr::from_index(2))
+        );
         // Bob learned alice from her request (addressed to him).
-        assert_eq!(bob_h.cache.borrow().lookup(SimTime::from_secs(2), ip(1)), Some(MacAddr::from_index(1)));
+        assert_eq!(
+            bob_h.cache.borrow().lookup(SimTime::from_secs(2), ip(1)),
+            Some(MacAddr::from_index(1))
+        );
         assert!(bob_h.stats.borrow().icmp_echoes_answered >= 15);
     }
 
@@ -806,7 +823,11 @@ mod tests {
         let stats = handles[0].stats.borrow();
         assert!(stats.resolutions_failed >= 1);
         assert!(stats.ipv4_send_failures >= 1);
-        assert!(stats.arp_requests_sent >= 4, "initial + 3 retries, got {}", stats.arp_requests_sent);
+        assert!(
+            stats.arp_requests_sent >= 4,
+            "initial + 3 retries, got {}",
+            stats.arp_requests_sent
+        );
         assert_eq!(stats.resolutions_completed, 0);
     }
 
@@ -855,16 +876,8 @@ mod tests {
 
     #[test]
     fn static_only_policy_never_learns() {
-        let (mut sim, handles) = lan(
-            3,
-            |i, cfg| {
-                if i == 1 {
-                    cfg.with_policy(ArpPolicy::StaticOnly)
-                } else {
-                    cfg
-                }
-            },
-        );
+        let (mut sim, handles) =
+            lan(3, |i, cfg| if i == 1 { cfg.with_policy(ArpPolicy::StaticOnly) } else { cfg });
         // Host 2 pings host 1; host 1 (static-only) must not learn 2's
         // binding even though the request is addressed to it.
         drop(handles[1].cache.borrow_mut()); // sanity: handle works
@@ -926,13 +939,8 @@ mod tests {
         let gw_ip = Ipv4Addr::new(192, 168, 88, 1);
         let server_cfg = DhcpServerConfig::home_router(Ipv4Addr::new(192, 168, 88, 100), 8, gw_ip);
         let (gateway, gw_h) = Host::new(
-            HostConfig::static_ip(
-                "gw",
-                MacAddr::from_index(100),
-                gw_ip,
-                Ipv4Cidr::new(gw_ip, 24),
-            )
-            .with_dhcp_server(server_cfg),
+            HostConfig::static_ip("gw", MacAddr::from_index(100), gw_ip, Ipv4Cidr::new(gw_ip, 24))
+                .with_dhcp_server(server_cfg),
         );
         let (client, client_h) = Host::new(HostConfig::dhcp(
             "laptop",

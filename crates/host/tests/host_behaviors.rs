@@ -139,8 +139,7 @@ fn policies_differ_observably_at_the_stack_level() {
         );
         net.add(announcer);
         let (listener, handle) = Host::new(
-            HostConfig::static_ip("lis", MacAddr::from_index(2), ip(2), cidr())
-                .with_policy(policy),
+            HostConfig::static_ip("lis", MacAddr::from_index(2), ip(2), cidr()).with_policy(policy),
         );
         net.add(listener);
         net.sim.run_until(SimTime::from_secs(1));
@@ -156,12 +155,8 @@ fn icmp_echo_ignored_when_disabled() {
     cfg.respond_to_ping = false;
     let (quiet, quiet_h) = Host::new(cfg);
     net.add(quiet);
-    let (mut pinger, _) = Host::new(HostConfig::static_ip(
-        "pinger",
-        MacAddr::from_index(2),
-        ip(2),
-        cidr(),
-    ));
+    let (mut pinger, _) =
+        Host::new(HostConfig::static_ip("pinger", MacAddr::from_index(2), ip(2), cidr()));
     let (ping, stats) = PingApp::new(ip(1), Duration::from_millis(200));
     pinger.add_app(Box::new(ping));
     net.add(pinger);

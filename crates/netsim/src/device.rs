@@ -131,7 +131,9 @@ mod tests {
         ctx.schedule_in(Duration::from_millis(10), 42);
         let _ = ctx.rng().next_u64();
         assert_eq!(actions.len(), 2);
-        assert!(matches!(&actions[0], Action::Send { port: PortId(0), bytes } if bytes == &[1,2,3]));
+        assert!(
+            matches!(&actions[0], Action::Send { port: PortId(0), bytes } if bytes == &[1,2,3])
+        );
         assert!(matches!(&actions[1], Action::Schedule { token: 42, .. }));
     }
 

@@ -32,8 +32,18 @@ struct Endpoint {
 
 #[derive(Debug, Clone)]
 enum EventKind {
-    Deliver { dst: DeviceId, port: PortId, bytes: Vec<u8>, src: DeviceId, src_port: PortId, sent_at: SimTime },
-    Timer { dst: DeviceId, token: u64 },
+    Deliver {
+        dst: DeviceId,
+        port: PortId,
+        bytes: Vec<u8>,
+        src: DeviceId,
+        src_port: PortId,
+        sent_at: SimTime,
+    },
+    Timer {
+        dst: DeviceId,
+        token: u64,
+    },
 }
 
 #[derive(Debug)]

@@ -365,7 +365,8 @@ impl Device for Switch {
         // Forwarding decision first, so the mirror copy can be skipped
         // when the frame's own egress *is* the mirror port (it would
         // otherwise arrive twice there).
-        let unicast_out = if eth.dst.is_unicast() { self.cam.borrow().lookup(eth.dst) } else { None };
+        let unicast_out =
+            if eth.dst.is_unicast() { self.cam.borrow().lookup(eth.dst) } else { None };
 
         // Mirror a copy of every (accepted) ingress frame.
         if let Some(mirror) = self.config.mirror_to {

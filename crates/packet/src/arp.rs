@@ -106,7 +106,11 @@ impl ArpPacket {
             op,
             sender_mac: mac,
             sender_ip: ip,
-            target_mac: if matches!(op, ArpOp::Request) { MacAddr::ZERO } else { MacAddr::BROADCAST },
+            target_mac: if matches!(op, ArpOp::Request) {
+                MacAddr::ZERO
+            } else {
+                MacAddr::BROADCAST
+            },
             target_ip: ip,
         }
     }
@@ -147,7 +151,11 @@ impl ArpPacket {
     /// type and length fields are not Ethernet/IPv4.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
         if buf.len() < ARP_WIRE_LEN {
-            return Err(ParseError::Truncated { what: "arp", needed: ARP_WIRE_LEN, got: buf.len() });
+            return Err(ParseError::Truncated {
+                what: "arp",
+                needed: ARP_WIRE_LEN,
+                got: buf.len(),
+            });
         }
         let htype = u16::from_be_bytes([buf[0], buf[1]]);
         if htype != 1 {
@@ -193,7 +201,11 @@ impl fmt::Display for ArpPacket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
             ArpOp::Request => {
-                write!(f, "who-has {} tell {} ({})", self.target_ip, self.sender_ip, self.sender_mac)
+                write!(
+                    f,
+                    "who-has {} tell {} ({})",
+                    self.target_ip, self.sender_ip, self.sender_mac
+                )
             }
             ArpOp::Reply => write!(f, "{} is-at {}", self.sender_ip, self.sender_mac),
         }

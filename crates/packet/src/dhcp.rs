@@ -42,11 +42,9 @@ impl DhcpOp {
         match value {
             1 => Ok(DhcpOp::BootRequest),
             2 => Ok(DhcpOp::BootReply),
-            other => Err(ParseError::InvalidField {
-                what: "dhcp",
-                field: "op",
-                value: u64::from(other),
-            }),
+            other => {
+                Err(ParseError::InvalidField { what: "dhcp", field: "op", value: u64::from(other) })
+            }
         }
     }
 }
@@ -492,10 +490,7 @@ mod tests {
         let mut bytes = msg.encode();
         bytes.pop(); // drop end marker
         bytes.push(51); // lease-time option with no length byte
-        assert!(matches!(
-            DhcpMessage::parse(&bytes),
-            Err(ParseError::MalformedOptions { .. })
-        ));
+        assert!(matches!(DhcpMessage::parse(&bytes), Err(ParseError::MalformedOptions { .. })));
     }
 
     #[test]

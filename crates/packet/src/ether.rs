@@ -232,11 +232,9 @@ mod tests {
 
     #[test]
     fn wire_len_accounts_for_padding() {
-        let small =
-            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::ARP, vec![0; 10]);
+        let small = EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::ARP, vec![0; 10]);
         assert_eq!(small.wire_len(), 60);
-        let big =
-            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0; 1000]);
+        let big = EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0; 1000]);
         assert_eq!(big.wire_len(), 1014);
     }
 }

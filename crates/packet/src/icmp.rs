@@ -147,7 +147,7 @@ mod tests {
         let req = IcmpMessage::echo_request(1, 1, vec![]);
         let mut bytes = req.encode();
         bytes[0] = 3; // destination unreachable
-        // Fix up checksum so only the type check fires.
+                      // Fix up checksum so only the type check fires.
         bytes[2] = 0;
         bytes[3] = 0;
         let ck = internet_checksum(&bytes);

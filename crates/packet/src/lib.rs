@@ -40,11 +40,15 @@ mod udp;
 
 pub use arp::{ArpOp, ArpPacket, ARP_WIRE_LEN};
 pub use checksum::{internet_checksum, Checksum};
-pub use dhcp::{DhcpMessage, DhcpMessageType, DhcpOp, DhcpOption, DHCP_CLIENT_PORT, DHCP_SERVER_PORT};
+pub use dhcp::{
+    DhcpMessage, DhcpMessageType, DhcpOp, DhcpOption, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
+};
 pub use error::ParseError;
-pub use ether::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD, ETHERNET_MIN_PAYLOAD};
+pub use ether::{
+    EtherType, EthernetFrame, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD, ETHERNET_MIN_PAYLOAD,
+};
 pub use icmp::{IcmpMessage, IcmpType};
-pub use ipv4::{Ipv4Addr, Ipv4Cidr, Ipv4Packet, IpProtocol, IPV4_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet, IPV4_HEADER_LEN};
 pub use mac::MacAddr;
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};

@@ -210,10 +210,7 @@ mod tests {
     fn prober() -> (ActiveProbeMonitor, AlertLog) {
         let log = AlertLog::new();
         (
-            ActiveProbeMonitor::new(
-                ActiveProbeConfig::new(MacAddr::from_index(200)),
-                log.clone(),
-            ),
+            ActiveProbeMonitor::new(ActiveProbeConfig::new(MacAddr::from_index(200)), log.clone()),
             log,
         )
     }

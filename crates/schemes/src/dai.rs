@@ -69,8 +69,7 @@ pub struct DaiInspector {
 impl DaiInspector {
     /// Creates an inspector reporting into `log`.
     pub fn new(config: DaiConfig, log: AlertLog) -> Self {
-        let bindings: HashMap<Ipv4Addr, MacAddr> =
-            config.static_bindings.iter().copied().collect();
+        let bindings: HashMap<Ipv4Addr, MacAddr> = config.static_bindings.iter().copied().collect();
         DaiInspector {
             config,
             log,
@@ -85,7 +84,14 @@ impl DaiInspector {
         Rc::clone(&self.bindings)
     }
 
-    fn deny(&mut self, now: SimTime, kind: AlertKind, ip: Ipv4Addr, mac: MacAddr, reason: &str) -> InspectVerdict {
+    fn deny(
+        &mut self,
+        now: SimTime,
+        kind: AlertKind,
+        ip: Ipv4Addr,
+        mac: MacAddr,
+        reason: &str,
+    ) -> InspectVerdict {
         self.denied += 1;
         self.log.raise(Alert {
             at: now,
@@ -98,13 +104,19 @@ impl DaiInspector {
         InspectVerdict::Deny { reason: reason.to_string() }
     }
 
-    fn snoop_dhcp(&mut self, eth: &EthernetFrame, trusted: bool, now: SimTime) -> Option<InspectVerdict> {
+    fn snoop_dhcp(
+        &mut self,
+        eth: &EthernetFrame,
+        trusted: bool,
+        now: SimTime,
+    ) -> Option<InspectVerdict> {
         let pkt = Ipv4Packet::parse(&eth.payload).ok()?;
         if pkt.protocol != IpProtocol::Udp {
             return None;
         }
         let dgram = UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst).ok()?;
-        let is_server_msg = dgram.src_port == DHCP_SERVER_PORT || dgram.dst_port == DHCP_CLIENT_PORT;
+        let is_server_msg =
+            dgram.src_port == DHCP_SERVER_PORT || dgram.dst_port == DHCP_CLIENT_PORT;
         let is_client_msg = dgram.dst_port == DHCP_SERVER_PORT;
         if !is_server_msg && !is_client_msg {
             return None;
@@ -119,18 +131,17 @@ impl DaiInspector {
                 "dhcp server message on untrusted port",
             ));
         }
-        if trusted && msg.message_type() == Some(DhcpMessageType::Ack) && !msg.yiaddr.is_unspecified() {
+        if trusted
+            && msg.message_type() == Some(DhcpMessageType::Ack)
+            && !msg.yiaddr.is_unspecified()
+        {
             self.bindings.borrow_mut().insert(msg.yiaddr, msg.chaddr);
             self.snooped += 1;
         }
         if msg.message_type() == Some(DhcpMessageType::Release) {
             // Trust releases only when the lease matches the releasing MAC.
-            let matches = self
-                .bindings
-                .borrow()
-                .get(&msg.ciaddr)
-                .map(|m| *m == msg.chaddr)
-                .unwrap_or(false);
+            let matches =
+                self.bindings.borrow().get(&msg.ciaddr).map(|m| *m == msg.chaddr).unwrap_or(false);
             if matches {
                 self.bindings.borrow_mut().remove(&msg.ciaddr);
             }
@@ -247,7 +258,8 @@ mod tests {
             dai.inspect(SimTime::ZERO, PortId(1), &unknown),
             InspectVerdict::Deny { .. }
         ));
-        let probe = arp_frame(MacAddr::from_index(9), Ipv4Addr::UNSPECIFIED, MacAddr::from_index(9));
+        let probe =
+            arp_frame(MacAddr::from_index(9), Ipv4Addr::UNSPECIFIED, MacAddr::from_index(9));
         assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &probe), InspectVerdict::Permit);
     }
 

@@ -191,7 +191,8 @@ impl SchemeKind {
                 mode: Prevention,
                 activity: Active,
                 cost: High,
-                summary: "signed replies + key distributor; full prevention, latency & enrolment cost",
+                summary:
+                    "signed replies + key distributor; full prevention, latency & enrolment cost",
             },
             SchemeKind::PortSecurity => SchemeDescriptor {
                 name: "port-security",
@@ -218,7 +219,8 @@ impl SchemeKind {
                 mode: Prevention,
                 activity: Passive,
                 cost: Medium,
-                summary: "LTA-issued tickets on replies; one verify, no per-host keys, slow revocation",
+                summary:
+                    "LTA-issued tickets on replies; one verify, no per-host keys, slow revocation",
             },
             SchemeKind::RateMonitor => SchemeDescriptor {
                 name: "rate-monitor",

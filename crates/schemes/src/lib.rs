@@ -31,9 +31,9 @@ mod descriptor;
 mod passive;
 mod rate;
 pub mod sarp;
-pub mod tarp;
-mod static_arp;
 mod stateful;
+mod static_arp;
+pub mod tarp;
 
 pub use active_probe::{ActiveProbeConfig, ActiveProbeMonitor};
 pub use alert::{Alert, AlertKind, AlertLog};
@@ -43,9 +43,9 @@ pub use descriptor::{Activity, DeployCost, Mode, SchemeClass, SchemeDescriptor, 
 pub use passive::{PassiveConfig, PassiveMonitor};
 pub use rate::{RateConfig, RateMonitor};
 pub use sarp::{AkdApp, SArpConfig, SArpHook};
-pub use tarp::{TarpConfig, TarpHook, Ticket};
-pub use static_arp::static_arp;
 pub use stateful::{StatefulConfig, StatefulMonitor};
+pub use static_arp::static_arp;
+pub use tarp::{TarpConfig, TarpHook, Ticket};
 
 /// Calibrated work-unit costs (the CPU proxy used in the cost analysis).
 /// One unit ≈ one packet-header inspection. The signature constants model

@@ -51,13 +51,7 @@ pub struct PassiveMonitor {
 impl PassiveMonitor {
     /// Creates a monitor reporting into `log`.
     pub fn new(config: PassiveConfig, log: AlertLog) -> Self {
-        PassiveMonitor {
-            config,
-            log,
-            db: HashMap::new(),
-            last_alert: HashMap::new(),
-            inspected: 0,
-        }
+        PassiveMonitor { config, log, db: HashMap::new(), last_alert: HashMap::new(), inspected: 0 }
     }
 
     /// Number of stations currently in the database.

@@ -86,15 +86,10 @@ impl RateMonitor {
         while self.mac_events.front().map(|(t, _)| now.saturating_since(*t) > w).unwrap_or(false) {
             self.mac_events.pop_front();
         }
-        while self.discover_events.front().map(|t| now.saturating_since(*t) > w).unwrap_or(false)
-        {
+        while self.discover_events.front().map(|t| now.saturating_since(*t) > w).unwrap_or(false) {
             self.discover_events.pop_front();
         }
-        while self
-            .arp_request_events
-            .front()
-            .map(|t| now.saturating_since(*t) > w)
-            .unwrap_or(false)
+        while self.arp_request_events.front().map(|t| now.saturating_since(*t) > w).unwrap_or(false)
         {
             self.arp_request_events.pop_front();
         }
@@ -201,10 +196,8 @@ mod tests {
     #[test]
     fn mac_flood_threshold_fires_once_per_cooldown() {
         let log = AlertLog::new();
-        let mut m = RateMonitor::new(
-            RateConfig { max_new_macs: 5, ..Default::default() },
-            log.clone(),
-        );
+        let mut m =
+            RateMonitor::new(RateConfig { max_new_macs: 5, ..Default::default() }, log.clone());
         for i in 0..50u32 {
             m.observe(SimTime::from_millis(u64::from(i) * 10), &frame_from(i));
         }
@@ -215,10 +208,8 @@ mod tests {
     #[test]
     fn stable_population_is_silent() {
         let log = AlertLog::new();
-        let mut m = RateMonitor::new(
-            RateConfig { max_new_macs: 5, ..Default::default() },
-            log.clone(),
-        );
+        let mut m =
+            RateMonitor::new(RateConfig { max_new_macs: 5, ..Default::default() }, log.clone());
         for i in 0..200u32 {
             m.observe(SimTime::from_millis(u64::from(i) * 10), &frame_from(i % 4));
         }
@@ -228,10 +219,8 @@ mod tests {
     #[test]
     fn window_expiry_forgets_old_macs() {
         let log = AlertLog::new();
-        let mut m = RateMonitor::new(
-            RateConfig { max_new_macs: 5, ..Default::default() },
-            log.clone(),
-        );
+        let mut m =
+            RateMonitor::new(RateConfig { max_new_macs: 5, ..Default::default() }, log.clone());
         // Five distinct MACs per second, but spread so no window holds
         // more than five: silent.
         for i in 0..50u32 {
@@ -242,7 +231,7 @@ mod tests {
 
     #[test]
     fn discover_burst_fires() {
-        use arpshield_packet::{DHCP_CLIENT_PORT, Ipv4Addr};
+        use arpshield_packet::{Ipv4Addr, DHCP_CLIENT_PORT};
         let log = AlertLog::new();
         let mut m = RateMonitor::new(
             RateConfig { max_dhcp_discovers: 3, ..Default::default() },
@@ -252,12 +241,8 @@ mod tests {
             let msg = DhcpMessage::discover(i, MacAddr::from_index(i));
             let dgram = UdpDatagram::new(DHCP_CLIENT_PORT, DHCP_SERVER_PORT, msg.encode())
                 .encode(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST);
-            let pkt = Ipv4Packet::new(
-                Ipv4Addr::UNSPECIFIED,
-                Ipv4Addr::BROADCAST,
-                IpProtocol::Udp,
-                dgram,
-            );
+            let pkt =
+                Ipv4Packet::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
             let eth = EthernetFrame::new(
                 MacAddr::BROADCAST,
                 MacAddr::from_index(i),

@@ -188,9 +188,7 @@ impl SArpHook {
         let message = &payload[..ARP_WIRE_LEN + 8];
         let sig_bytes = &payload[ARP_WIRE_LEN + 8..ARP_WIRE_LEN + 8 + SIGNATURE_LEN];
         api.add_work(work::VERIFY);
-        let ok = Signature::from_bytes(sig_bytes)
-            .and_then(|sig| key.verify(message, &sig))
-            .is_ok();
+        let ok = Signature::from_bytes(sig_bytes).and_then(|sig| key.verify(message, &sig)).is_ok();
         // Verification costs CPU time: the outcome lands after the delay.
         self.verify_queue.push_back((arp.sender_ip, arp.sender_mac, ok));
         api.schedule(self.config.unit_cost * work::VERIFY as u32, TIMER_FINISH_VERIFY);
@@ -339,7 +337,8 @@ impl HostHook for SArpHook {
                 if pkt.protocol != arpshield_packet::IpProtocol::Udp {
                     return FrameVerdict::Continue;
                 }
-                let Ok(dgram) = arpshield_packet::UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst)
+                let Ok(dgram) =
+                    arpshield_packet::UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst)
                 else {
                     return FrameVerdict::Continue;
                 };

@@ -82,8 +82,7 @@ impl Ticket {
         }
         let ip = Ipv4Addr::parse(&bytes[0..4]).ok()?;
         let mac = MacAddr::parse(&bytes[4..10]).ok()?;
-        let expires =
-            SimTime::from_nanos(u64::from_be_bytes(bytes[10..18].try_into().ok()?));
+        let expires = SimTime::from_nanos(u64::from_be_bytes(bytes[10..18].try_into().ok()?));
         let signature = Signature::from_bytes(&bytes[18..18 + SIGNATURE_LEN]).ok()?;
         Some(Ticket { ip, mac, expires, signature })
     }

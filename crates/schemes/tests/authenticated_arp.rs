@@ -8,7 +8,9 @@ use std::time::Duration;
 use arpshield_crypto::{Akd, KeyPair};
 use arpshield_host::apps::PingApp;
 use arpshield_host::{ArpPolicy, Host, HostConfig, HostHandle};
-use arpshield_netsim::{Device, DeviceCtx, DeviceId, PortId, SimTime, Simulator, Switch, SwitchConfig};
+use arpshield_netsim::{
+    Device, DeviceCtx, DeviceId, PortId, SimTime, Simulator, Switch, SwitchConfig,
+};
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, Ipv4Cidr, MacAddr};
 use arpshield_schemes::{
     sarp, tarp, AlertKind, AlertLog, SArpConfig, SArpHook, TarpConfig, TarpHook, Ticket,
@@ -147,9 +149,10 @@ fn sarp_rejects_stale_replayed_replies() {
     let registry = Rc::new(RefCell::new(Akd::new()));
     let akd_keypair = KeyPair::from_seed(9000);
     for n in [9u8, 1, 2] {
-        registry
-            .borrow_mut()
-            .register(u32::from(ip(n).to_u32()), KeyPair::from_seed(u64::from(ip(n).to_u32())).public_key());
+        registry.borrow_mut().register(
+            u32::from(ip(n).to_u32()),
+            KeyPair::from_seed(u64::from(ip(n).to_u32())).public_key(),
+        );
     }
     sarp_host(&mut net, "akd", ip(9), mac(109), &registry, &akd_keypair, true, &alerts);
     sarp_host(&mut net, "gw", ip(1), mac(100), &registry, &akd_keypair, false, &alerts);
@@ -159,7 +162,11 @@ fn sarp_rejects_stale_replayed_replies() {
     // The replayer sniffs from the mirror port and replays every signed
     // reply 8 s later — beyond the 5 s freshness window.
     net.attach_at(
-        Box::new(SArpReplayer { captured: Vec::new(), replay_at: Duration::from_secs(8), replayed: false }),
+        Box::new(SArpReplayer {
+            captured: Vec::new(),
+            replay_at: Duration::from_secs(8),
+            replayed: false,
+        }),
         15,
     );
 

@@ -13,9 +13,9 @@ use arpshield_host::{ArpPolicy, Host, HostConfig, HostHandle};
 use arpshield_netsim::{DeviceId, PortId, SimTime, Simulator, Switch, SwitchConfig};
 use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
 use arpshield_schemes::{
-    sarp::AKD_PORT, ActiveProbeConfig, ActiveProbeMonitor, AkdApp, Alert, AlertKind, AlertLog,
-    AnticapHook, AntidoteHook, DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, SArpConfig,
-    SArpHook, StatefulConfig, StatefulMonitor,
+    ActiveProbeConfig, ActiveProbeMonitor, AkdApp, Alert, AlertKind, AlertLog, AnticapHook,
+    AntidoteHook, DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, SArpConfig, SArpHook,
+    StatefulConfig, StatefulMonitor,
 };
 
 fn cidr() -> Ipv4Cidr {
@@ -165,8 +165,10 @@ fn stateful_monitor_flags_unsolicited_reply() {
     lan.attach_at(Box::new(StatefulMonitor::new(StatefulConfig::default(), log.clone())), 15);
     lan.sim.run_until(SimTime::from_secs(6));
     assert!(
-        log.alerts().iter().any(|a: &Alert| a.kind == AlertKind::UnsolicitedReply
-            && a.observed_mac == Some(mac(66))),
+        log.alerts()
+            .iter()
+            .any(|a: &Alert| a.kind == AlertKind::UnsolicitedReply
+                && a.observed_mac == Some(mac(66))),
         "alerts: {:?}",
         log.alerts()
     );
@@ -185,10 +187,10 @@ fn active_probe_contradicts_forged_claim() {
     // The probe reaches the real gateway, which answers truthfully; the
     // forged claim is contradicted.
     assert!(
-        log.alerts()
-            .iter()
-            .any(|a| matches!(a.kind, AlertKind::ProbeContradiction | AlertKind::DuplicateResponders)
-                && a.subject_ip == Some(ip(1))),
+        log.alerts().iter().any(|a| matches!(
+            a.kind,
+            AlertKind::ProbeContradiction | AlertKind::DuplicateResponders
+        ) && a.subject_ip == Some(ip(1))),
         "alerts: {:?}",
         log.alerts()
     );
@@ -235,14 +237,15 @@ fn anticap_blocks_unsolicited_but_not_race() {
         truth.clone(),
     );
     lan.attach(Box::new(racer)); // port 0: wins ties
-    // Slow gateway.
+                                 // Slow gateway.
     let (gw_host, _) = Host::new(HostConfig::static_ip("gw", mac(100), ip(1), cidr()));
     let gw_id = lan.sim.add_device(Box::new(gw_host));
     lan.sim.connect(gw_id, PortId(0), lan.switch, PortId(1), Duration::from_millis(2)).unwrap();
     lan.next_port = 2;
     let log2 = AlertLog::new();
     let (mut victim, victim_h) = Host::new(
-        HostConfig::static_ip("victim", mac(2), ip(2), cidr()).with_policy(ArpPolicy::NoUnsolicited),
+        HostConfig::static_ip("victim", mac(2), ip(2), cidr())
+            .with_policy(ArpPolicy::NoUnsolicited),
     );
     victim.add_hook(Box::new(AnticapHook::new(log2.clone())));
     let (ping, _) = PingApp::new(ip(1), Duration::from_millis(500));
@@ -288,8 +291,10 @@ fn antidote_rejects_takeover_of_live_binding() {
         Some(mac(100)),
         "antidote must defend the live incumbent"
     );
-    assert!(log.alerts().iter().any(|a| a.kind == AlertKind::ReplaceRejected
-        && a.observed_mac == Some(mac(66))));
+    assert!(log
+        .alerts()
+        .iter()
+        .any(|a| a.kind == AlertKind::ReplaceRejected && a.observed_mac == Some(mac(66))));
     // Connectivity preserved throughout.
     let stats = ping_stats.borrow();
     assert!(stats.received as f64 / stats.sent as f64 > 0.9);
@@ -303,8 +308,11 @@ fn sarp_prevents_poisoning_and_resolves_signed() {
     let akd_keypair = KeyPair::from_seed(9000);
 
     // Enrol three principals: AKD (10.0.0.9), gw (10.0.0.1), victim (10.0.0.2).
-    let keys: Vec<(u8, u32, KeyPair)> =
-        vec![(9, 109, KeyPair::from_seed(9)), (1, 100, KeyPair::from_seed(1)), (2, 2, KeyPair::from_seed(2))];
+    let keys: Vec<(u8, u32, KeyPair)> = vec![
+        (9, 109, KeyPair::from_seed(9)),
+        (1, 100, KeyPair::from_seed(1)),
+        (2, 2, KeyPair::from_seed(2)),
+    ];
     for (ip_n, _, kp) in &keys {
         akd_registry.borrow_mut().register(u32::from(ip(*ip_n).to_u32()), kp.public_key());
     }
@@ -316,7 +324,7 @@ fn sarp_prevents_poisoning_and_resolves_signed() {
         akd_key: akd_keypair.public_key(),
         max_age: Duration::from_secs(5),
         local_akd: local.then(|| Rc::clone(&akd_registry)),
-                unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
+        unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
     };
 
     // The AKD host.
@@ -349,10 +357,13 @@ fn sarp_prevents_poisoning_and_resolves_signed() {
 
     // Attacker tries everything.
     let truth = GroundTruth::new();
-    for (i, variant) in
-        [PoisonVariant::GratuitousReply, PoisonVariant::UnicastReply, PoisonVariant::ReplyToRequestRace]
-            .into_iter()
-            .enumerate()
+    for (i, variant) in [
+        PoisonVariant::GratuitousReply,
+        PoisonVariant::UnicastReply,
+        PoisonVariant::ReplyToRequestRace,
+    ]
+    .into_iter()
+    .enumerate()
     {
         lan.attach(Box::new(ArpPoisoner::new(
             PoisonConfig {
@@ -382,8 +393,10 @@ fn sarp_prevents_poisoning_and_resolves_signed() {
     // And the cache never held the attacker.
     assert_eq!(victim_h.cache.borrow().lookup(now, ip(1)), Some(mac(100)));
     // Plain forged replies were dropped and logged.
-    assert!(log.alerts().iter().any(|a| a.kind == AlertKind::UnsignedReply
-        && a.observed_mac == Some(mac(66))));
+    assert!(log
+        .alerts()
+        .iter()
+        .any(|a| a.kind == AlertKind::UnsignedReply && a.observed_mac == Some(mac(66))));
     let _ = gw_h;
 }
 
@@ -404,9 +417,8 @@ fn dai_blocks_forged_arp_and_snoops_leases() {
     let switch = sim.add_device(Box::new(sw));
     let mut lan = Lan { sim, switch, next_port: 0 };
 
-    let gw_cfg = HostConfig::static_ip("gw", mac(100), ip(1), cidr()).with_dhcp_server(
-        DhcpServerConfig::home_router(ip(100), 8, ip(1)),
-    );
+    let gw_cfg = HostConfig::static_ip("gw", mac(100), ip(1), cidr())
+        .with_dhcp_server(DhcpServerConfig::home_router(ip(100), 8, ip(1)));
     let _gw = lan.add_host(gw_cfg);
     let (mut victim, victim_h) = Host::new(
         HostConfig::static_ip("victim", mac(2), ip(2), cidr()).with_policy(ArpPolicy::Promiscuous),
@@ -515,12 +527,8 @@ fn schemes_quiet_on_benign_traffic() {
             .with_dhcp_server(DhcpServerConfig::home_router(ip(100), 8, ip(1))),
     );
     for i in 2..=4u8 {
-        let (mut h, _) = Host::new(HostConfig::static_ip(
-            format!("h{i}"),
-            mac(u32::from(i)),
-            ip(i),
-            cidr(),
-        ));
+        let (mut h, _) =
+            Host::new(HostConfig::static_ip(format!("h{i}"), mac(u32::from(i)), ip(i), cidr()));
         let (ping, _) = PingApp::new(ip(1), Duration::from_millis(300));
         h.add_app(Box::new(ping));
         lan.attach(Box::new(h));

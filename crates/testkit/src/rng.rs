@@ -1,0 +1,298 @@
+//! The testkit's deterministic PRNG: PCG-XSH-RR 64/32.
+//!
+//! Distinct from `arpshield_netsim::SimRng` (SplitMix64) on purpose: the
+//! simulator's random streams are part of the *system under test*, while
+//! this generator drives the *test inputs*. Keeping them separate means a
+//! change to test-case generation can never perturb a simulation replay,
+//! and vice versa.
+//!
+//! ```rust
+//! use arpshield_testkit::TestRng;
+//!
+//! let mut a = TestRng::new(7);
+//! let mut b = TestRng::new(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! ```
+
+use std::ops::{Bound, RangeBounds};
+
+const MULTIPLIER: u64 = 6_364_136_223_846_793_005;
+const DEFAULT_STREAM: u64 = 0x14057b7ef767814f;
+
+/// A seedable PCG32 generator: 64-bit state, 32-bit output, with an
+/// explicit stream so independent generators can share a seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    state: u64,
+    inc: u64,
+}
+
+impl TestRng {
+    /// Creates a generator on the default stream.
+    pub fn new(seed: u64) -> Self {
+        Self::with_stream(seed, DEFAULT_STREAM)
+    }
+
+    /// Creates a generator on a specific stream; generators with the same
+    /// seed but different streams produce independent sequences.
+    pub fn with_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = TestRng { state: 0, inc: (stream << 1) | 1 };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32 pseudo-random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns the next 128 pseudo-random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Fills the buffer with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+
+    /// Returns a uniformly distributed value of a primitive type (for
+    /// floats: the unit interval `[0, 1)`).
+    pub fn gen<T: RandomValue>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Returns a value uniformly distributed over the range.
+    ///
+    /// Supports `lo..hi`, `lo..=hi`, and unbounded ends for every
+    /// primitive integer type, plus `lo..hi` for `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        T::sample(self, range.start_bound(), range.end_bound())
+    }
+
+    /// Derives an independent child generator.
+    pub fn fork(&mut self) -> TestRng {
+        let seed = self.next_u64();
+        let stream = self.next_u64();
+        TestRng::with_stream(seed, stream)
+    }
+}
+
+/// Types [`TestRng::gen`] can produce.
+pub trait RandomValue {
+    /// Draws one uniformly distributed value.
+    fn random(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($ty:ty => $src:ident),+ $(,)?) => {$(
+        impl RandomValue for $ty {
+            fn random(rng: &mut TestRng) -> Self {
+                rng.$src() as $ty
+            }
+        }
+    )+};
+}
+
+impl_random_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, u128 => next_u128,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    i128 => next_u128, isize => next_u64,
+);
+
+impl RandomValue for bool {
+    fn random(rng: &mut TestRng) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RandomValue for f32 {
+    fn random(rng: &mut TestRng) -> Self {
+        (rng.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl<T: RandomValue, const N: usize> RandomValue for [T; N] {
+    fn random(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::random(rng))
+    }
+}
+
+/// Types [`TestRng::gen_range`] can sample from a range.
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly distributed between the bounds.
+    fn sample(rng: &mut TestRng, lo: Bound<&Self>, hi: Bound<&Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample(rng: &mut TestRng, lo: Bound<&Self>, hi: Bound<&Self>) -> Self {
+                let lo = match lo {
+                    Bound::Included(&x) => x,
+                    Bound::Excluded(&x) => x.checked_add(1).expect("empty range"),
+                    Bound::Unbounded => <$ty>::MIN,
+                };
+                let hi = match hi {
+                    Bound::Included(&x) => x,
+                    Bound::Excluded(&x) => x.checked_sub(1).expect("empty range"),
+                    Bound::Unbounded => <$ty>::MAX,
+                };
+                assert!(lo <= hi, "empty range");
+                // Work in offset space so signed types sample correctly.
+                let span = (hi as i128).wrapping_sub(lo as i128).wrapping_add(1) as u128;
+                if span == 0 {
+                    // Full 128-bit domain.
+                    return rng.next_u128() as $ty;
+                }
+                // Rejection sampling to avoid modulo bias.
+                let zone = u128::MAX - (u128::MAX - span + 1) % span;
+                loop {
+                    let r = rng.next_u128();
+                    if r <= zone {
+                        return ((lo as i128).wrapping_add((r % span) as i128)) as $ty;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut TestRng, lo: Bound<&Self>, hi: Bound<&Self>) -> Self {
+        let lo = match lo {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => 0.0,
+        };
+        let hi = match hi {
+            Bound::Included(&x) | Bound::Excluded(&x) => x,
+            Bound::Unbounded => 1.0,
+        };
+        assert!(lo <= hi, "empty range");
+        let unit: f64 = rng.gen();
+        lo + unit * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed_across_runs() {
+        // Pinned outputs: these must never change, or every recorded
+        // failing seed in a bug report stops reproducing.
+        let mut rng = TestRng::new(42);
+        assert_eq!(
+            [rng.next_u32(), rng.next_u32(), rng.next_u32()],
+            [492_690_617, 1_919_685_028, 3_561_993_920]
+        );
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_with_same_seed_diverge() {
+        let mut a = TestRng::with_stream(1, 1);
+        let mut b = TestRng::with_stream(1, 2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_odd_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 17] {
+            let mut a = TestRng::new(9);
+            let mut b = TestRng::new(9);
+            let mut buf_a = vec![0u8; len];
+            let mut buf_b = vec![0u8; len];
+            a.fill_bytes(&mut buf_a);
+            b.fill_bytes(&mut buf_b);
+            assert_eq!(buf_a, buf_b);
+        }
+        let mut rng = TestRng::new(3);
+        let mut buf = [0u8; 64];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..10_000 {
+            let x: u8 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let z: f64 = rng.gen_range(0.0..1e9);
+            assert!((0.0..1e9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = TestRng::new(8);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        #[allow(clippy::reversed_empty_ranges)]
+        TestRng::new(1).gen_range(5u32..5);
+    }
+
+    #[test]
+    fn gen_produces_all_primitive_shapes() {
+        let mut rng = TestRng::new(11);
+        let _: u128 = rng.gen();
+        let _: bool = rng.gen();
+        let mac: [u8; 6] = rng.gen();
+        assert_eq!(mac.len(), 6);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn forked_generators_are_independent() {
+        let mut parent = TestRng::new(1);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

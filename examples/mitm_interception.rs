@@ -23,7 +23,8 @@ fn main() {
     let attacker_mac = MacAddr::from_index(66);
 
     let mut sim = Simulator::new(1);
-    let (switch, switch_handle) = Switch::new("sw", SwitchConfig { ports: 8, ..Default::default() });
+    let (switch, switch_handle) =
+        Switch::new("sw", SwitchConfig { ports: 8, ..Default::default() });
     let switch = sim.add_device(Box::new(switch));
 
     // The gateway.

@@ -19,9 +19,8 @@ fn main() {
     println!("gateway's IP to its own MAC (classic arpspoof).\n");
 
     for scheme in [SchemeKind::None, SchemeKind::Passive, SchemeKind::SArp] {
-        let config = ScenarioConfig::new(42)
-            .with_scheme(scheme)
-            .with_duration(Duration::from_secs(12));
+        let config =
+            ScenarioConfig::new(42).with_scheme(scheme).with_duration(Duration::from_secs(12));
         let run = AttackScenario::poisoning(config, PoisonVariant::GratuitousReply).run();
         let outcome = score_attack_run(&run);
 
@@ -36,10 +35,7 @@ fn main() {
             None if outcome.prevented => println!("  nothing to detect: the forgery never landed"),
             None => println!("  NOT detected"),
         }
-        println!(
-            "  victim ping delivery through the run: {:.1}%",
-            outcome.victim_delivery * 100.0
-        );
+        println!("  victim ping delivery through the run: {:.1}%", outcome.victim_delivery * 100.0);
         let wire = run.lan.sim.wire_stats();
         println!("  wire traffic: {} frames, {} bytes\n", wire.frames, wire.bytes);
     }

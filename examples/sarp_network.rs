@@ -70,7 +70,8 @@ fn main() {
             )));
         }
         if *name == "alice" {
-            let (ping, stats) = PingApp::new(Ipv4Addr::new(10, 0, 0, 1), Duration::from_millis(200));
+            let (ping, stats) =
+                PingApp::new(Ipv4Addr::new(10, 0, 0, 1), Duration::from_millis(200));
             host.add_app(Box::new(ping));
             ping_stats = Some(stats);
         }
@@ -112,7 +113,11 @@ fn main() {
         stats.received as f64 / stats.sent as f64 * 100.0,
         stats.mean_rtt().unwrap()
     );
-    println!("\nattacker emitted {} forged frames; S-ARP raised {} alerts:", truth.len(), alerts.len());
+    println!(
+        "\nattacker emitted {} forged frames; S-ARP raised {} alerts:",
+        truth.len(),
+        alerts.len()
+    );
     let mut counts = std::collections::BTreeMap::new();
     for a in alerts.alerts() {
         *counts.entry(format!("{:?}", a.kind)).or_insert(0u32) += 1;
@@ -120,9 +125,8 @@ fn main() {
     for (kind, n) in counts {
         println!("  {kind}: {n}");
     }
-    let crypto_work: u64 =
-        host_handles.iter().map(|h| h.stats.borrow().work_units).sum::<u64>()
-            + alerts.work_of("sarp");
+    let crypto_work: u64 = host_handles.iter().map(|h| h.stats.borrow().work_units).sum::<u64>()
+        + alerts.work_of("sarp");
     println!("\ntotal S-ARP work: {crypto_work} units (signatures dominate; one unit ≈ one header inspection)");
     println!("the victim's cache never held the attacker's MAC — prevention, not detection.");
 }

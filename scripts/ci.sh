@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The offline CI gate. Everything must pass with no registry access and
+# with warnings promoted to errors.
+#
+#   scripts/ci.sh
+#
+# Steps: rustfmt check, release build, full test suite, and a
+# one-iteration smoke run of every bench (which also exercises the
+# results/bench/*.json emission path).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export RUSTFLAGS="-D warnings"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
+TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline
+
+echo "==> ci.sh: all gates passed"

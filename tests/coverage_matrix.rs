@@ -118,9 +118,8 @@ fn port_security_orthogonal_to_poisoning() {
 /// probe window.
 #[test]
 fn detection_latency_ordering() {
-    let passive = run_cell(SchemeKind::Passive, PoisonVariant::GratuitousReply)
-        .detection_latency
-        .unwrap();
+    let passive =
+        run_cell(SchemeKind::Passive, PoisonVariant::GratuitousReply).detection_latency.unwrap();
     let probe = run_cell(SchemeKind::ActiveProbe, PoisonVariant::GratuitousReply)
         .detection_latency
         .unwrap();

@@ -1,8 +1,13 @@
 //! Property-based tests over the workspace's foundational invariants:
 //! codec round-trips on arbitrary inputs, parser totality on garbage,
 //! crypto soundness, and data-structure invariants.
+//!
+//! Runs under the in-tree `arpshield-testkit` runner: every case derives
+//! deterministically from a fixed base seed (`TESTKIT_SEED` replays a
+//! failure, `TESTKIT_CASES` adjusts depth), and failing inputs are
+//! greedily shrunk before being reported.
 
-use proptest::prelude::*;
+use arpshield_testkit::prelude::*;
 
 use arpshield::crypto::{KeyPair, Signature};
 use arpshield::netsim::{CamTable, PortId, SimTime};
@@ -20,10 +25,10 @@ fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
     any::<u32>().prop_map(Ipv4Addr::from_u32)
 }
 
-proptest! {
+properties! {
     #[test]
     fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), ethertype in any::<u16>(),
-                          payload in proptest::collection::vec(any::<u8>(), 0..1500)) {
+                          payload in collection::vec(any::<u8>(), 0..1500)) {
         let frame = EthernetFrame::new(dst, src, EtherType::from_u16(ethertype), payload.clone());
         let parsed = EthernetFrame::parse(&frame.encode()).unwrap();
         prop_assert_eq!(parsed.dst, dst);
@@ -43,7 +48,7 @@ proptest! {
 
     #[test]
     fn ipv4_roundtrip(src in arb_ip(), dst in arb_ip(), ttl in any::<u8>(), ident in any::<u16>(),
-                      proto in any::<u8>(), payload in proptest::collection::vec(any::<u8>(), 0..600)) {
+                      proto in any::<u8>(), payload in collection::vec(any::<u8>(), 0..600)) {
         let mut pkt = Ipv4Packet::new(src, dst, IpProtocol::from_u8(proto), payload);
         pkt.ttl = ttl;
         pkt.identification = ident;
@@ -52,7 +57,7 @@ proptest! {
 
     #[test]
     fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
-                     payload in proptest::collection::vec(any::<u8>(), 0..600)) {
+                     payload in collection::vec(any::<u8>(), 0..600)) {
         let dgram = UdpDatagram::new(sp, dp, payload);
         prop_assert_eq!(UdpDatagram::parse(&dgram.encode(src, dst), src, dst).unwrap(), dgram);
     }
@@ -60,7 +65,7 @@ proptest! {
     #[test]
     fn tcp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
                      seq in any::<u32>(), ack in any::<u32>(), flags in 0u8..0x40, window in any::<u16>(),
-                     payload in proptest::collection::vec(any::<u8>(), 0..400)) {
+                     payload in collection::vec(any::<u8>(), 0..400)) {
         let seg = TcpSegment {
             src_port: sp, dst_port: dp, seq, ack,
             flags: TcpFlags::from_bits(flags), window, payload,
@@ -70,7 +75,7 @@ proptest! {
 
     #[test]
     fn icmp_roundtrip(ident in any::<u16>(), seq in any::<u16>(),
-                      payload in proptest::collection::vec(any::<u8>(), 0..400)) {
+                      payload in collection::vec(any::<u8>(), 0..400)) {
         let msg = IcmpMessage::echo_request(ident, seq, payload);
         prop_assert_eq!(IcmpMessage::parse(&msg.encode()).unwrap(), msg);
     }
@@ -90,7 +95,7 @@ proptest! {
     /// return an error. (Detection schemes feed attacker-controlled bytes
     /// straight in.)
     #[test]
-    fn parsers_are_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+    fn parsers_are_total_on_garbage(bytes in collection::vec(any::<u8>(), 0..200)) {
         let _ = EthernetFrame::parse(&bytes);
         let _ = ArpPacket::parse(&bytes);
         let _ = Ipv4Packet::parse(&bytes);
@@ -121,8 +126,8 @@ proptest! {
 
     #[test]
     fn signatures_bind_message_and_key(seed1 in any::<u64>(), seed2 in any::<u64>(),
-                                       msg1 in proptest::collection::vec(any::<u8>(), 1..64),
-                                       msg2 in proptest::collection::vec(any::<u8>(), 1..64)) {
+                                       msg1 in collection::vec(any::<u8>(), 1..64),
+                                       msg2 in collection::vec(any::<u8>(), 1..64)) {
         let kp1 = KeyPair::from_seed(seed1);
         let sig = kp1.sign(&msg1);
         prop_assert!(kp1.public_key().verify(&msg1, &sig).is_ok());
@@ -135,9 +140,20 @@ proptest! {
         }
     }
 
+    /// Signatures survive their wire round-trip: `to_bytes`/`from_bytes`
+    /// is lossless and the reparsed signature still verifies.
+    #[test]
+    fn signature_wire_roundtrip(seed in any::<u64>(), msg in collection::vec(any::<u8>(), 1..64)) {
+        let kp = KeyPair::from_seed(seed);
+        let sig = kp.sign(&msg);
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.to_bytes(), sig.to_bytes());
+        prop_assert!(kp.public_key().verify(&msg, &parsed).is_ok());
+    }
+
     /// CAM capacity is an invariant under arbitrary learn/sweep schedules.
     #[test]
-    fn cam_never_exceeds_capacity(ops in proptest::collection::vec((any::<u32>(), 0u16..8, any::<bool>()), 1..200),
+    fn cam_never_exceeds_capacity(ops in collection::vec((any::<u32>(), 0u16..8, any::<bool>()), 1..200),
                                   capacity in 1usize..64) {
         let mut cam = CamTable::new(capacity, Duration::from_secs(60));
         let mut t = 0u64;
@@ -149,6 +165,22 @@ proptest! {
                 cam.learn(SimTime::from_secs(t), MacAddr::from_index(mac % 100), PortId(port));
             }
             prop_assert!(cam.occupancy() <= capacity);
+        }
+    }
+
+    /// A station moving between ports: the CAM always reports the port of
+    /// the *latest* learn, and re-learning an existing MAC never grows
+    /// the table (the mechanism a switch relies on when hosts roam — and
+    /// the one MAC flooding abuses).
+    #[test]
+    fn cam_learn_move_tracks_latest_port(mac_idx in any::<u32>(),
+                                         moves in collection::vec(0u16..8, 1..50)) {
+        let mac = MacAddr::from_index(mac_idx % 1000);
+        let mut cam = CamTable::new(16, Duration::from_secs(60));
+        for (i, port) in moves.iter().enumerate() {
+            cam.learn(SimTime::from_secs(i as u64), mac, PortId(*port));
+            prop_assert_eq!(cam.lookup(mac), Some(PortId(*port)));
+            prop_assert_eq!(cam.occupancy(), 1);
         }
     }
 
@@ -173,7 +205,7 @@ proptest! {
 
 // --- crypto field and ticket properties ---
 
-proptest! {
+properties! {
     /// The fast Mersenne multiply agrees with the generic shift-add
     /// multiply on arbitrary field elements.
     #[test]
@@ -218,7 +250,7 @@ proptest! {
     /// The empirical CDF is a valid distribution function for any sample
     /// set: sorted x, monotone y, ending at exactly 1.
     #[test]
-    fn series_cdf_is_valid(samples in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+    fn series_cdf_is_valid(samples in collection::vec(0.0f64..1e9, 1..200)) {
         use arpshield::analysis::Series;
         let s = Series::cdf("p", "x", samples.clone());
         let pts = s.points();
@@ -232,7 +264,7 @@ proptest! {
 
     /// ARP cache: static entries survive any sequence of dynamic writes.
     #[test]
-    fn static_entries_are_immovable(writes in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..100)) {
+    fn static_entries_are_immovable(writes in collection::vec((any::<u32>(), any::<u32>()), 0..100)) {
         use arpshield::host::{ArpCache, EntryOrigin};
         use arpshield::netsim::SimTime;
         let protected_ip = Ipv4Addr::new(10, 0, 0, 1);
