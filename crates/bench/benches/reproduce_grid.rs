@@ -1,0 +1,32 @@
+//! End-to-end throughput of the experiment grids the `reproduce` binary
+//! spends its time in: the T3 scheme × attack coverage matrix and the
+//! F1 detection-latency sweep.
+//!
+//! Each grid is benched under `ARPSHIELD_THREADS=1` (forced sequential)
+//! and `=4`, which is how the parallel experiment runner's speedup — and
+//! its determinism contract (identical output either way) — lands in the
+//! perf-trajectory feed.
+
+use arpshield_core::experiment::{f1_detection_latency, t3_coverage};
+use arpshield_testkit::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SEED: u64 = 20070625;
+
+fn bench_grids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reproduce_grid");
+    group.sample_size(10);
+    for threads in ["1", "4"] {
+        std::env::set_var("ARPSHIELD_THREADS", threads);
+        group.bench_function(BenchmarkId::new("t3_coverage", threads), |b| {
+            b.iter(|| t3_coverage(SEED).to_csv())
+        });
+        group.bench_function(BenchmarkId::new("f1_latency_x10", threads), |b| {
+            b.iter(|| f1_detection_latency(SEED, 10).len())
+        });
+    }
+    std::env::remove_var("ARPSHIELD_THREADS");
+    group.finish();
+}
+
+criterion_group!(benches, bench_grids);
+criterion_main!(benches);

@@ -58,7 +58,13 @@ fn main() {
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
     println!("arpshield reproduction harness (seed {SEED})");
-    println!("every experiment is deterministic; CSVs land in {}/\n", out.out_dir.display());
+    println!(
+        "every experiment is deterministic; CSVs land in {}/; \
+         independent runs fan out over {} worker thread(s) \
+         (ARPSHIELD_THREADS overrides; output is identical at any count)\n",
+        out.out_dir.display(),
+        arpshield_core::parallel::thread_count(),
+    );
     let started = Instant::now();
 
     if want("t1") {

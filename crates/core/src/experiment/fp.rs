@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use arpshield_schemes::SchemeKind;
 
+use crate::parallel::run_indexed;
 use crate::report::Table;
 use crate::scenario::{BenignScenario, ChurnConfig, ScenarioConfig};
 
@@ -22,22 +23,31 @@ pub fn t4_false_positives(seed: u64) -> Table {
         "T4: false positives under benign churn (30 s, 3 DHCP roamers, pool=2, 1 NIC swap)",
         &["scheme", "false-positives", "dominant-alert-kinds"],
     );
-    for scheme in SchemeKind::all() {
-        let config = ScenarioConfig::new(seed)
-            .with_hosts(3)
-            .with_scheme(scheme)
-            .with_duration(Duration::from_secs(30));
-        let run = BenignScenario::new(config, ChurnConfig::default()).run();
-        let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
-        for alert in run.lan.alerts.alerts() {
-            *kinds.entry(format!("{:?}", alert.kind)).or_insert(0) += 1;
-        }
-        let breakdown = if kinds.is_empty() {
-            "—".to_string()
-        } else {
-            kinds.iter().map(|(k, n)| format!("{k}×{n}")).collect::<Vec<_>>().join(" ")
-        };
-        table.row([scheme.label().to_string(), run.false_positives.to_string(), breakdown]);
+    // One 30 s benign-churn run per scheme, fanned out.
+    let jobs: Vec<_> = SchemeKind::all()
+        .map(|scheme| {
+            move || {
+                let config = ScenarioConfig::new(seed)
+                    .with_hosts(3)
+                    .with_scheme(scheme)
+                    .with_duration(Duration::from_secs(30));
+                let run = BenignScenario::new(config, ChurnConfig::default()).run();
+                let mut kinds: BTreeMap<String, usize> = BTreeMap::new();
+                for alert in run.lan.alerts.alerts() {
+                    *kinds.entry(format!("{:?}", alert.kind)).or_insert(0) += 1;
+                }
+                let breakdown = if kinds.is_empty() {
+                    "—".to_string()
+                } else {
+                    kinds.iter().map(|(k, n)| format!("{k}×{n}")).collect::<Vec<_>>().join(" ")
+                };
+                [scheme.label().to_string(), run.false_positives.to_string(), breakdown]
+            }
+        })
+        .into_iter()
+        .collect();
+    for row in run_indexed(jobs) {
+        table.row(row);
     }
     table
 }

@@ -8,6 +8,7 @@ use arpshield_schemes::SchemeKind;
 
 use crate::experiment::detecting_schemes;
 use crate::metrics::score_attack_run;
+use crate::parallel::run_indexed;
 use crate::report::{Series, Table};
 use crate::scenario::{AttackScenario, ScenarioConfig};
 
@@ -17,37 +18,47 @@ use crate::scenario::{AttackScenario, ScenarioConfig};
 /// Returns one CDF per detecting scheme; schemes that missed every run
 /// return an empty series (which the report prints as such).
 pub fn f1_detection_latency(seed: u64, runs: u32) -> Vec<Series> {
-    let mut out = Vec::new();
-    for scheme in detecting_schemes() {
-        let mut samples_ms = Vec::new();
+    // Each (scheme, run) pair is an independent seeded attack; fan the
+    // whole sweep out and regroup per scheme in index order.
+    let schemes = detecting_schemes();
+    let mut jobs = Vec::new();
+    for &scheme in &schemes {
         for i in 0..runs {
-            let variant = if i % 2 == 0 {
-                PoisonVariant::GratuitousReply
-            } else {
-                PoisonVariant::UnicastReply
-            };
-            let config = ScenarioConfig::new(seed.wrapping_add(u64::from(i) * 7919))
-                .with_hosts(4)
-                .with_scheme(scheme)
-                .with_duration(Duration::from_secs(8))
-                .with_policy(arpshield_host::ArpPolicy::Promiscuous);
-            let run = AttackScenario::poisoning(config, variant).run();
-            if let Some(latency) = score_attack_run(&run).detection_latency {
-                samples_ms.push(latency.as_secs_f64() * 1e3);
-            }
+            jobs.push(move || {
+                let variant = if i % 2 == 0 {
+                    PoisonVariant::GratuitousReply
+                } else {
+                    PoisonVariant::UnicastReply
+                };
+                let config = ScenarioConfig::new(seed.wrapping_add(u64::from(i) * 7919))
+                    .with_hosts(4)
+                    .with_scheme(scheme)
+                    .with_duration(Duration::from_secs(8))
+                    .with_policy(arpshield_host::ArpPolicy::Promiscuous);
+                let run = AttackScenario::poisoning(config, variant).run();
+                score_attack_run(&run).detection_latency.map(|l| l.as_secs_f64() * 1e3)
+            });
         }
-        out.push(Series::cdf(
-            format!(
-                "F1[{}]: detection latency CDF ({} of {} attacks detected)",
-                scheme.label(),
-                samples_ms.len(),
-                runs
-            ),
-            "latency_ms",
-            samples_ms,
-        ));
     }
-    out
+    let latencies = run_indexed(jobs);
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(s, scheme)| {
+            let per_scheme = &latencies[s * runs as usize..(s + 1) * runs as usize];
+            let samples_ms: Vec<f64> = per_scheme.iter().filter_map(|l| *l).collect();
+            Series::cdf(
+                format!(
+                    "F1[{}]: detection latency CDF ({} of {} attacks detected)",
+                    scheme.label(),
+                    samples_ms.len(),
+                    runs
+                ),
+                "latency_ms",
+                samples_ms,
+            )
+        })
+        .collect()
 }
 
 /// F3: mean ARP resolution latency — plain ARP vs S-ARP vs TARP (first,
@@ -86,9 +97,15 @@ pub fn f3_resolution_latency(seed: u64) -> Table {
         let warm = (total - cold_total).as_secs_f64() / (n - cold_n) as f64 * 1e6;
         (cold, warm)
     };
-    let (plain_cold, plain_warm) = measure(SchemeKind::None);
-    let (sarp_cold, sarp_warm) = measure(SchemeKind::SArp);
-    let (tarp_cold, tarp_warm) = measure(SchemeKind::Tarp);
+    // Three independent configurations; run them concurrently.
+    let measured = run_indexed(
+        [SchemeKind::None, SchemeKind::SArp, SchemeKind::Tarp]
+            .map(|scheme| move || measure(scheme))
+            .into_iter()
+            .collect(),
+    );
+    let [(plain_cold, plain_warm), (sarp_cold, sarp_warm), (tarp_cold, tarp_warm)] =
+        measured[..].try_into().expect("one measurement per configuration");
     table.row([
         "plain-arp".to_string(),
         format!("{plain_cold:.1}"),

@@ -8,6 +8,7 @@ use arpshield_host::ArpPolicy;
 use arpshield_schemes::SchemeKind;
 
 use crate::metrics::score_attack_run;
+use crate::parallel::run_indexed;
 use crate::report::Table;
 use crate::scenario::{AttackScenario, ScenarioConfig};
 
@@ -34,15 +35,28 @@ pub fn t2_susceptibility(seed: u64) -> Table {
         "T2: poisoning-variant susceptibility by ARP acceptance policy (unprotected hosts)",
         &headers,
     );
+    // Every cell is an independent seeded run; fan the grid out and
+    // merge in index order (row-major), so the table is byte-identical
+    // to a sequential fill.
+    let mut jobs = Vec::new();
+    for variant in PoisonVariant::all() {
+        for policy in policies {
+            jobs.push(move || {
+                let run = AttackScenario::poisoning(
+                    quick_config(seed ^ variant.label().len() as u64).with_policy(policy),
+                    variant,
+                )
+                .run();
+                let poisoned = run.samples.borrow().ever_poisoned();
+                poisoned
+            });
+        }
+    }
+    let mut cells = run_indexed(jobs).into_iter();
     for variant in PoisonVariant::all() {
         let mut row = vec![variant.label().to_string()];
-        for policy in policies {
-            let run = AttackScenario::poisoning(
-                quick_config(seed ^ variant.label().len() as u64).with_policy(policy),
-                variant,
-            )
-            .run();
-            let poisoned = run.samples.borrow().ever_poisoned();
+        for _ in policies {
+            let poisoned = cells.next().expect("one result per cell");
             row.push(if poisoned { "poisoned".to_string() } else { "safe".to_string() });
         }
         table.row(row);
@@ -67,17 +81,30 @@ pub fn t3_coverage(seed: u64) -> Table {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table =
         Table::new("T3: scheme x attack coverage (P=prevented, D=detected)", &header_refs);
+    // Row-major fan-out over the whole scheme × attack grid. The seed
+    // derivation mirrors the sequential fill (`row.len()` was 1 + the
+    // 0-based attack column when each cell was built).
+    let mut jobs = Vec::new();
+    for scheme in SchemeKind::all() {
+        for (column, variant) in attacks.iter().enumerate() {
+            let variant = *variant;
+            jobs.push(move || {
+                // Promiscuous victim for the baseline-sensitivity attacks, so
+                // prevention differences come from the scheme, not the OS
+                // policy; schemes that mandate a policy override it anyway.
+                let config = quick_config(seed ^ (column as u64 + 1) << 8)
+                    .with_scheme(scheme)
+                    .with_policy(ArpPolicy::Promiscuous);
+                let run = AttackScenario::poisoning(config, variant).run();
+                score_attack_run(&run).cell()
+            });
+        }
+    }
+    let mut cells = run_indexed(jobs).into_iter();
     for scheme in SchemeKind::all() {
         let mut row = vec![scheme.label().to_string()];
-        for variant in &attacks {
-            // Promiscuous victim for the baseline-sensitivity attacks, so
-            // prevention differences come from the scheme, not the OS
-            // policy; schemes that mandate a policy override it anyway.
-            let config = quick_config(seed ^ (row.len() as u64) << 8)
-                .with_scheme(scheme)
-                .with_policy(ArpPolicy::Promiscuous);
-            let run = AttackScenario::poisoning(config, *variant).run();
-            row.push(score_attack_run(&run).cell());
+        for _ in &attacks {
+            row.push(cells.next().expect("one result per cell"));
         }
         table.row(row);
     }

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use arpshield_schemes::SchemeKind;
 
+use crate::parallel::run_indexed;
 use crate::report::Series;
 use crate::scenario::lan::build;
 use crate::scenario::ScenarioConfig;
@@ -30,7 +31,24 @@ fn overhead_schemes() -> Vec<SchemeKind> {
 /// to every resolution plus AKD round trips (but needs no mirror).
 pub fn f2_overhead(seed: u64, sizes: &[usize]) -> Vec<Series> {
     let duration = Duration::from_secs(8);
-    overhead_schemes()
+    // One job per (scheme, LAN size) point, merged back in sweep order.
+    let schemes = overhead_schemes();
+    let mut jobs = Vec::new();
+    for &scheme in &schemes {
+        for &n in sizes {
+            jobs.push(move || {
+                let config = ScenarioConfig::new(seed)
+                    .with_hosts(n)
+                    .with_scheme(scheme)
+                    .with_duration(duration);
+                let mut lan = build(config);
+                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
+                lan.sim.wire_stats().bytes as f64
+            });
+        }
+    }
+    let mut points = run_indexed(jobs).into_iter();
+    schemes
         .into_iter()
         .map(|scheme| {
             let mut series = Series::new(
@@ -39,13 +57,7 @@ pub fn f2_overhead(seed: u64, sizes: &[usize]) -> Vec<Series> {
                 "kib_per_sec",
             );
             for &n in sizes {
-                let config = ScenarioConfig::new(seed)
-                    .with_hosts(n)
-                    .with_scheme(scheme)
-                    .with_duration(duration);
-                let mut lan = build(config);
-                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
-                let bytes = lan.sim.wire_stats().bytes as f64;
+                let bytes = points.next().expect("one result per sweep point");
                 series.push(n as f64, bytes / 1024.0 / duration.as_secs_f64());
             }
             series
@@ -62,16 +74,24 @@ pub fn f5_passive_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
     let duration = Duration::from_secs(8);
     let mut entries = Series::new("F5a: passive monitor DB entries vs hosts", "hosts", "entries");
     let mut work = Series::new("F5b: passive monitor work units vs hosts", "hosts", "work_units");
-    for &n in sizes {
-        let config = ScenarioConfig::new(seed)
-            .with_hosts(n)
-            .with_scheme(SchemeKind::Passive)
-            .with_duration(duration);
-        let mut lan = build(config);
-        lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
+    let jobs: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            move || {
+                let config = ScenarioConfig::new(seed)
+                    .with_hosts(n)
+                    .with_scheme(SchemeKind::Passive)
+                    .with_duration(duration);
+                let mut lan = build(config);
+                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + duration);
+                lan.alerts.work_of("passive") as f64
+            }
+        })
+        .collect();
+    for (&n, work_units) in sizes.iter().zip(run_indexed(jobs)) {
         // Station count: every host + gateway spoke ARP at least once.
         entries.push(n as f64, (n + 1) as f64);
-        work.push(n as f64, lan.alerts.work_of("passive") as f64);
+        work.push(n as f64, work_units);
     }
     vec![entries, work]
 }

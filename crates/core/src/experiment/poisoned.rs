@@ -7,6 +7,7 @@ use arpshield_attacks::PoisonVariant;
 use arpshield_schemes::SchemeKind;
 
 use crate::metrics::score_attack_run;
+use crate::parallel::run_indexed;
 use crate::report::Table;
 use crate::scenario::{AttackScenario, ScenarioConfig};
 
@@ -24,21 +25,30 @@ pub fn f4_poisoned_time(seed: u64) -> Table {
         "F4: fraction of time victim poisoned under persistent re-poisoning (30 s)",
         &["scheme", "poisoned_fraction", "victim_delivery", "alerts"],
     );
-    for scheme in SchemeKind::all() {
-        let config = ScenarioConfig::new(seed)
-            .with_hosts(4)
-            .with_scheme(scheme)
-            .with_duration(Duration::from_secs(30))
-            .with_arp_timeout(Duration::from_secs(10))
-            .with_policy(arpshield_host::ArpPolicy::Promiscuous);
-        let run = AttackScenario::poisoning(config, PoisonVariant::UnicastReply).run();
-        let outcome = score_attack_run(&run);
-        table.row([
-            scheme.label().to_string(),
-            format!("{:.3}", outcome.poisoned_fraction),
-            format!("{:.3}", outcome.victim_delivery),
-            outcome.alerts.to_string(),
-        ]);
+    // One 30 s persistent-attacker run per scheme, fanned out.
+    let jobs: Vec<_> = SchemeKind::all()
+        .map(|scheme| {
+            move || {
+                let config = ScenarioConfig::new(seed)
+                    .with_hosts(4)
+                    .with_scheme(scheme)
+                    .with_duration(Duration::from_secs(30))
+                    .with_arp_timeout(Duration::from_secs(10))
+                    .with_policy(arpshield_host::ArpPolicy::Promiscuous);
+                let run = AttackScenario::poisoning(config, PoisonVariant::UnicastReply).run();
+                let outcome = score_attack_run(&run);
+                [
+                    scheme.label().to_string(),
+                    format!("{:.3}", outcome.poisoned_fraction),
+                    format!("{:.3}", outcome.victim_delivery),
+                    outcome.alerts.to_string(),
+                ]
+            }
+        })
+        .into_iter()
+        .collect();
+    for row in run_indexed(jobs) {
+        table.row(row);
     }
     table
 }

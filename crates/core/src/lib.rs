@@ -13,6 +13,9 @@
 //!   counts;
 //! * [`experiment`] runs each table and figure of the evaluation
 //!   (T1–T5, F1–F6 in `DESIGN.md`);
+//! * [`parallel`] fans independent seeded runs across cores while
+//!   keeping every experiment's output byte-identical to a sequential
+//!   run (`ARPSHIELD_THREADS` overrides the worker count);
 //! * [`report`] renders the results as aligned text tables, ASCII
 //!   series, and CSV.
 //!
@@ -36,6 +39,7 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod parallel;
 pub mod report;
 pub mod scenario;
 pub mod taxonomy;

@@ -1,0 +1,126 @@
+//! A std-only scoped thread pool for fanning independent seeded
+//! simulations across cores — deterministically.
+//!
+//! The evaluation is a grid of embarrassingly parallel jobs: every cell
+//! of T3, every run of an F1 latency sweep, every LAN size of an F2
+//! overhead curve is a pure function of its `(seed, config)` pair. The
+//! runner executes those jobs on `std::thread::scope` workers pulling
+//! from a shared index counter, then merges results **in index order**,
+//! so the output of every experiment is byte-identical whether it ran
+//! on one thread or sixteen. `ARPSHIELD_THREADS=1` forces sequential
+//! execution (and is the reference the determinism suite compares
+//! against); unset, the worker count follows
+//! [`std::thread::available_parallelism`].
+//!
+//! Zero registry dependencies by design (see the README's
+//! "Zero registry dependencies" section): no rayon, no crossbeam — the
+//! whole pool is a counter, a mutex per slot, and scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker threads [`run_indexed`] will use: the `ARPSHIELD_THREADS`
+/// override when set to a positive integer, otherwise the machine's
+/// available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(value) = std::env::var("ARPSHIELD_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+        eprintln!("warning: ignoring invalid ARPSHIELD_THREADS={value:?}");
+    }
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// Runs independent jobs, possibly concurrently, and returns their
+/// results in job order.
+///
+/// Each job must be a pure function of its captures (in this workspace:
+/// a seed and a scenario config). Scheduling order is unspecified, but
+/// the result vector is always index-ordered, so callers observe
+/// identical output regardless of the thread count. Jobs run on the
+/// caller's thread when the effective thread count is 1 — no spawn, no
+/// synchronisation.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (the scope joins all workers first).
+pub fn run_indexed<R, F>(jobs: Vec<F>) -> Vec<R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let threads = thread_count().min(jobs.len());
+    if threads <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let job = slots[i].lock().unwrap().take().expect("each index claimed once");
+                let result = job();
+                *results[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("scope joined every worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let jobs: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+        let expected: Vec<_> = (0..64u64).map(|i| i * i).collect();
+        assert_eq!(run_indexed(jobs), expected);
+    }
+
+    #[test]
+    fn empty_and_single_job_lists_work() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert_eq!(run_indexed(none), Vec::<u8>::new());
+        assert_eq!(run_indexed(vec![|| 7u8]), vec![7]);
+    }
+
+    /// One test covers every env-var interaction: the harness runs tests
+    /// concurrently in one process, so splitting these would race on
+    /// `ARPSHIELD_THREADS`.
+    #[test]
+    fn thread_count_override_and_parallel_determinism() {
+        std::env::set_var("ARPSHIELD_THREADS", "3");
+        assert_eq!(thread_count(), 3);
+        std::env::set_var("ARPSHIELD_THREADS", "0");
+        assert!(thread_count() >= 1, "invalid override falls back");
+
+        let run = |threads: &str| {
+            std::env::set_var("ARPSHIELD_THREADS", threads);
+            let jobs: Vec<_> = (0..40u64)
+                .map(|i| {
+                    move || {
+                        // A little CPU work so threads genuinely interleave.
+                        (0..1000).fold(i, |acc, x| acc.wrapping_mul(31).wrapping_add(x))
+                    }
+                })
+                .collect();
+            run_indexed(jobs)
+        };
+        assert_eq!(run("1"), run("8"));
+
+        std::env::remove_var("ARPSHIELD_THREADS");
+        assert!(thread_count() >= 1);
+    }
+}

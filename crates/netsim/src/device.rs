@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use crate::frame::Frame;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
@@ -29,7 +30,7 @@ impl std::fmt::Display for PortId {
 /// Deferred side effects a device requests during a callback.
 #[derive(Debug, Clone)]
 pub(crate) enum Action {
-    Send { port: PortId, bytes: Vec<u8> },
+    Send { port: PortId, bytes: Frame },
     Schedule { delay: Duration, token: u64 },
 }
 
@@ -44,6 +45,7 @@ pub struct DeviceCtx<'a> {
     device: DeviceId,
     actions: &'a mut Vec<Action>,
     rng: &'a mut SimRng,
+    incoming: Option<&'a Frame>,
 }
 
 impl<'a> DeviceCtx<'a> {
@@ -52,8 +54,9 @@ impl<'a> DeviceCtx<'a> {
         device: DeviceId,
         actions: &'a mut Vec<Action>,
         rng: &'a mut SimRng,
+        incoming: Option<&'a Frame>,
     ) -> Self {
-        DeviceCtx { now, device, actions, rng }
+        DeviceCtx { now, device, actions, rng, incoming }
     }
 
     /// Current simulation time.
@@ -69,8 +72,23 @@ impl<'a> DeviceCtx<'a> {
     /// Queues a frame for transmission out of `port`. If the port is not
     /// connected the frame is silently dropped (and counted in
     /// [`WireStats`](crate::WireStats)).
-    pub fn send(&mut self, port: PortId, bytes: Vec<u8>) {
-        self.actions.push(Action::Send { port, bytes });
+    ///
+    /// Accepts anything convertible into a [`Frame`]: a freshly encoded
+    /// `Vec<u8>`, or a cheap clone of an existing shared buffer
+    /// (fan-out devices forward [`incoming_frame`](Self::incoming_frame)
+    /// copies without re-allocating).
+    pub fn send(&mut self, port: PortId, bytes: impl Into<Frame>) {
+        self.actions.push(Action::Send { port, bytes: bytes.into() });
+    }
+
+    /// The shared buffer of the frame currently being delivered.
+    ///
+    /// Inside [`Device::on_frame`] this is the same bytes as the `frame`
+    /// argument, but as a clonable [`Frame`] handle: repeating or
+    /// flooding it to N ports shares one allocation instead of making N
+    /// copies. Outside `on_frame` (start/timer callbacks) it is `None`.
+    pub fn incoming_frame(&self) -> Option<Frame> {
+        self.incoming.cloned()
     }
 
     /// Schedules [`Device::on_timer`] with `token` after `delay`.
@@ -124,17 +142,32 @@ mod tests {
     fn ctx_queues_actions() {
         let mut actions = Vec::new();
         let mut rng = SimRng::new(1);
-        let mut ctx = DeviceCtx::new(SimTime::from_secs(5), DeviceId(3), &mut actions, &mut rng);
+        let mut ctx =
+            DeviceCtx::new(SimTime::from_secs(5), DeviceId(3), &mut actions, &mut rng, None);
         assert_eq!(ctx.now(), SimTime::from_secs(5));
         assert_eq!(ctx.device_id(), DeviceId(3));
+        assert!(ctx.incoming_frame().is_none());
         ctx.send(PortId(0), vec![1, 2, 3]);
         ctx.schedule_in(Duration::from_millis(10), 42);
         let _ = ctx.rng().next_u64();
         assert_eq!(actions.len(), 2);
         assert!(
-            matches!(&actions[0], Action::Send { port: PortId(0), bytes } if bytes == &[1,2,3])
+            matches!(&actions[0], Action::Send { port: PortId(0), bytes } if bytes.as_slice() == [1, 2, 3])
         );
         assert!(matches!(&actions[1], Action::Schedule { token: 42, .. }));
+    }
+
+    #[test]
+    fn incoming_frame_shares_the_delivered_buffer() {
+        let mut actions = Vec::new();
+        let mut rng = SimRng::new(1);
+        let delivered = Frame::from(vec![7u8; 64]);
+        let mut ctx =
+            DeviceCtx::new(SimTime::ZERO, DeviceId(0), &mut actions, &mut rng, Some(&delivered));
+        let shared = ctx.incoming_frame().expect("incoming frame set");
+        assert!(std::ptr::eq(shared.as_slice(), delivered.as_slice()));
+        ctx.send(PortId(0), shared);
+        assert_eq!(delivered.handle_count(), 2, "send queues a shared handle, not a copy");
     }
 
     #[test]

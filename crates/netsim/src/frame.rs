@@ -1,0 +1,134 @@
+//! Shared, immutable frame buffers.
+
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// An immutable, reference-counted frame payload.
+///
+/// The simulator's hot path is fan-out: a hub repeats every ingress
+/// frame to all other ports, a switch floods broadcasts and copies
+/// mirror spans, and the trace records every delivery. With `Vec<u8>`
+/// payloads each of those copies re-allocated and re-copied the same
+/// bytes; a `Frame` makes every copy an `Rc` pointer bump sharing one
+/// allocation. `Deref<Target = [u8]>` keeps all parsing code unchanged.
+///
+/// Frames are immutable by construction — mutating a delivered payload
+/// would retroactively rewrite trace records and in-flight copies — so
+/// devices that transform a frame build a fresh one.
+#[derive(Clone)]
+pub struct Frame(Rc<[u8]>);
+
+impl Frame {
+    /// The payload length in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for zero-length payloads.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload as a byte slice (also available through `Deref`).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of live handles sharing this buffer (diagnostics only).
+    pub fn handle_count(&self) -> usize {
+        Rc::strong_count(&self.0)
+    }
+}
+
+impl Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Frame {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(bytes: Vec<u8>) -> Frame {
+        Frame(Rc::from(bytes))
+    }
+}
+
+impl From<&[u8]> for Frame {
+    fn from(bytes: &[u8]) -> Frame {
+        Frame(Rc::from(bytes))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Frame {
+    fn from(bytes: [u8; N]) -> Frame {
+        Frame(Rc::from(bytes.as_slice()))
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Frame {}
+
+impl PartialEq<[u8]> for Frame {
+    fn eq(&self, other: &[u8]) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Frame {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let a = Frame::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.handle_count(), 2);
+        assert!(std::ptr::eq(a.as_slice(), b.as_slice()));
+    }
+
+    #[test]
+    fn derefs_like_a_slice() {
+        let f = Frame::from(vec![9u8; 60]);
+        assert_eq!(f.len(), 60);
+        assert!(!f.is_empty());
+        assert_eq!(f[0], 9);
+        assert_eq!(&f[..3], &[9, 9, 9]);
+        assert_eq!(f, vec![9u8; 60]);
+        assert_eq!(f, *[9u8; 60].as_slice());
+    }
+
+    #[test]
+    fn conversions_cover_common_sources() {
+        let from_vec = Frame::from(vec![1, 2]);
+        let from_slice = Frame::from([1u8, 2].as_slice());
+        let from_array = Frame::from([1u8, 2]);
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(from_vec, from_array);
+        assert_eq!(format!("{from_vec:?}"), "Frame(2 bytes)");
+    }
+}

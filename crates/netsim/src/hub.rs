@@ -37,11 +37,14 @@ impl Device for Hub {
         self.ports
     }
 
-    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, frame: &[u8]) {
+    fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, _frame: &[u8]) {
         self.frames_repeated += 1;
+        // Repeat the shared buffer: one allocation total regardless of
+        // how many egress copies the repeat fans out to.
+        let shared = ctx.incoming_frame().expect("on_frame always carries a frame");
         for p in 0..self.ports as u16 {
             if p != port.0 {
-                ctx.send(PortId(p), frame.to_vec());
+                ctx.send(PortId(p), shared.clone());
             }
         }
     }

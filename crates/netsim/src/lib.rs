@@ -41,6 +41,7 @@
 
 mod device;
 mod error;
+mod frame;
 mod hub;
 mod rng;
 mod sim;
@@ -50,6 +51,7 @@ mod trace;
 
 pub use device::{Device, DeviceCtx, DeviceId, PortId};
 pub use error::NetsimError;
+pub use frame::Frame;
 pub use hub::Hub;
 pub use rng::SimRng;
 pub use sim::{Simulator, WireStats};

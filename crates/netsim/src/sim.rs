@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
 use crate::error::NetsimError;
+use crate::frame::Frame;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TracedFrame};
@@ -35,7 +36,7 @@ enum EventKind {
     Deliver {
         dst: DeviceId,
         port: PortId,
-        bytes: Vec<u8>,
+        bytes: Frame,
         src: DeviceId,
         src_port: PortId,
         sent_at: SimTime,
@@ -86,6 +87,10 @@ pub struct Simulator {
     rng: SimRng,
     trace: Option<Trace>,
     stats: WireStats,
+    /// Reusable actions buffer, drained after every dispatch. Devices
+    /// cannot re-enter the simulator, so one scratch vector serves all
+    /// callbacks without per-event allocation.
+    scratch: Vec<Action>,
 }
 
 impl std::fmt::Debug for dyn Device {
@@ -107,6 +112,7 @@ impl Simulator {
             rng: SimRng::new(seed),
             trace: None,
             stats: WireStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -195,18 +201,19 @@ impl Simulator {
         }
         self.started = true;
         for i in 0..self.devices.len() {
-            let mut actions = Vec::new();
+            let mut actions = std::mem::take(&mut self.scratch);
             let id = DeviceId(i);
             {
-                let mut ctx = DeviceCtx::new(self.now, id, &mut actions, &mut self.rng);
+                let mut ctx = DeviceCtx::new(self.now, id, &mut actions, &mut self.rng, None);
                 self.devices[i].on_start(&mut ctx);
             }
-            self.apply_actions(id, actions);
+            self.apply_actions(id, &mut actions);
+            self.scratch = actions;
         }
     }
 
-    fn apply_actions(&mut self, from: DeviceId, actions: Vec<Action>) {
-        for action in actions {
+    fn apply_actions(&mut self, from: DeviceId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { port, bytes } => match self.links.get(&(from, port)).copied() {
                     Some(ep) => {
@@ -246,6 +253,8 @@ impl Simulator {
                 self.stats.frames += 1;
                 self.stats.bytes += bytes.len() as u64;
                 if let Some(trace) = &mut self.trace {
+                    // A shared-buffer clone: the trace holds a handle to
+                    // the delivered bytes, not a copy of them.
                     trace.record(TracedFrame {
                         sent_at,
                         src_device: src,
@@ -255,21 +264,24 @@ impl Simulator {
                         bytes: bytes.clone(),
                     });
                 }
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.scratch);
                 {
-                    let mut ctx = DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng);
+                    let mut ctx =
+                        DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng, Some(&bytes));
                     self.devices[dst.0].on_frame(&mut ctx, port, &bytes);
                 }
-                self.apply_actions(dst, actions);
+                self.apply_actions(dst, &mut actions);
+                self.scratch = actions;
             }
             EventKind::Timer { dst, token } => {
                 self.stats.timers += 1;
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.scratch);
                 {
-                    let mut ctx = DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng);
+                    let mut ctx = DeviceCtx::new(self.now, dst, &mut actions, &mut self.rng, None);
                     self.devices[dst.0].on_timer(&mut ctx, token);
                 }
-                self.apply_actions(dst, actions);
+                self.apply_actions(dst, &mut actions);
+                self.scratch = actions;
             }
         }
         true

@@ -10,6 +10,7 @@ use std::time::Duration;
 use arpshield_packet::{EthernetFrame, MacAddr};
 
 use crate::device::{Device, DeviceCtx, PortId};
+use crate::frame::Frame;
 use crate::time::SimTime;
 
 /// One CAM-table binding.
@@ -272,7 +273,7 @@ impl Switch {
         self.inspector = Some(inspector);
     }
 
-    fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, frame: &[u8]) {
+    fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, frame: &Frame) {
         for p in 0..self.config.ports as u16 {
             let p = PortId(p);
             if p == ingress || Some(p) == self.config.mirror_to {
@@ -281,7 +282,7 @@ impl Switch {
             if self.stats.borrow().shutdown_ports.contains(&p) {
                 continue;
             }
-            ctx.send(p, frame.to_vec());
+            ctx.send(p, frame.clone());
         }
     }
 }
@@ -368,24 +369,28 @@ impl Device for Switch {
         let unicast_out =
             if eth.dst.is_unicast() { self.cam.borrow().lookup(eth.dst) } else { None };
 
+        // Every egress copy below — mirror, unicast forward, flood —
+        // shares the ingress frame's buffer instead of re-allocating it.
+        let shared = ctx.incoming_frame().expect("on_frame always carries a frame");
+
         // Mirror a copy of every (accepted) ingress frame.
         if let Some(mirror) = self.config.mirror_to {
             if mirror != port && unicast_out != Some(mirror) {
-                ctx.send(mirror, frame.to_vec());
+                ctx.send(mirror, shared.clone());
             }
         }
 
         if eth.dst.is_unicast() {
             if let Some(out) = unicast_out {
                 if out != port && !self.stats.borrow().shutdown_ports.contains(&out) {
-                    ctx.send(out, frame.to_vec());
+                    ctx.send(out, shared.clone());
                     self.stats.borrow_mut().forwarded += 1;
                 }
                 return;
             }
         }
         self.stats.borrow_mut().flooded += 1;
-        self.flood(ctx, port, frame);
+        self.flood(ctx, port, &shared);
     }
 }
 
@@ -401,14 +406,18 @@ mod tests {
     }
 
     /// Sends a list of (delay_ms, frame) pairs; records frames received.
+    ///
+    /// The plan holds shared [`Frame`]s, so replaying an injection on a
+    /// timer fire clones a handle instead of copying the payload.
     struct Station {
-        plan: Vec<(u64, Vec<u8>)>,
+        plan: Vec<(u64, Frame)>,
         received: Rc<RefCell<Vec<Vec<u8>>>>,
     }
 
     impl Station {
         fn new(plan: Vec<(u64, Vec<u8>)>) -> (Self, Rc<RefCell<Vec<Vec<u8>>>>) {
             let received = Rc::new(RefCell::new(Vec::new()));
+            let plan = plan.into_iter().map(|(at, bytes)| (at, Frame::from(bytes))).collect();
             (Station { plan, received: Rc::clone(&received) }, received)
         }
     }
@@ -426,8 +435,7 @@ mod tests {
             }
         }
         fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
-            let bytes = self.plan[token as usize].1.clone();
-            ctx.send(PortId(0), bytes);
+            ctx.send(PortId(0), self.plan[token as usize].1.clone());
         }
         fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, frame: &[u8]) {
             self.received.borrow_mut().push(frame.to_vec());

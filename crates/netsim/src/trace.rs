@@ -1,6 +1,7 @@
 //! Frame traces: the simulator's equivalent of a pcap capture.
 
 use crate::device::{DeviceId, PortId};
+use crate::frame::Frame;
 use crate::time::SimTime;
 
 /// One frame as it crossed a link.
@@ -16,8 +17,9 @@ pub struct TracedFrame {
     pub dst_device: DeviceId,
     /// Receiving port.
     pub dst_port: PortId,
-    /// Raw frame bytes.
-    pub bytes: Vec<u8>,
+    /// Raw frame bytes, sharing the delivered frame's buffer (recording
+    /// a frame never copies its payload).
+    pub bytes: Frame,
 }
 
 /// An append-only capture of every frame that crossed any link.
@@ -82,7 +84,7 @@ mod tests {
             src_port: PortId(0),
             dst_device: DeviceId(dst),
             dst_port: PortId(0),
-            bytes: vec![0; len],
+            bytes: vec![0; len].into(),
         }
     }
 

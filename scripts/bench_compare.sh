@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Advisory bench regression check: compares the median of every bench in
+# results/bench/*.json against the committed baseline under
+# results/bench/baseline/, flagging entries slower than THRESHOLD×.
+#
+#   scripts/bench_compare.sh            # compare, warn, always exit 0
+#   THRESHOLD=2.0 scripts/bench_compare.sh
+#
+# This is deliberately NON-FATAL: CI runs the benches in one-iteration
+# smoke mode (TESTKIT_BENCH_SMOKE=1), so its numbers are indicative only
+# and noisy by design. Regenerate real baselines with a measured run:
+#
+#   cargo bench --workspace --offline && cp results/bench/*.json results/bench/baseline/
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+current_dir="results/bench"
+baseline_dir="results/bench/baseline"
+threshold="${THRESHOLD:-1.5}"
+
+if [ ! -d "$baseline_dir" ]; then
+    echo "bench_compare: no baseline directory at $baseline_dir — skipping"
+    exit 0
+fi
+
+python3 - "$current_dir" "$baseline_dir" "$threshold" <<'PY'
+import json
+import pathlib
+import sys
+
+current_dir, baseline_dir, threshold = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2]), float(sys.argv[3])
+
+
+def medians(path):
+    """-> {(group, id): median} for arpshield-bench-v1; allocation files
+    (arpshield-allocs-v1) compare allocs_per_frame instead."""
+    data = json.loads(path.read_text())
+    out = {}
+    for entry in data.get("results", []):
+        key = (entry.get("group", ""), entry["id"])
+        if data.get("schema") == "arpshield-allocs-v1":
+            out[key] = (entry["allocs_per_frame"], "allocs/frame")
+        elif "median_ns" in entry:
+            out[key] = (entry["median_ns"], "ns")
+    return out
+
+
+regressions = improvements = compared = 0
+for baseline_file in sorted(baseline_dir.glob("*.json")):
+    current_file = current_dir / baseline_file.name
+    if not current_file.exists():
+        print(f"bench_compare: {baseline_file.name}: no fresh run to compare (skipped)")
+        continue
+    base = medians(baseline_file)
+    cur = medians(current_file)
+    for key, (base_value, unit) in sorted(base.items()):
+        if key not in cur or base_value <= 0:
+            continue
+        compared += 1
+        cur_value = cur[key][0]
+        ratio = cur_value / base_value
+        name = "/".join(k for k in key if k)
+        if ratio >= threshold:
+            regressions += 1
+            print(
+                f"bench_compare: SLOWER {name}: {cur_value:.1f} {unit} vs "
+                f"baseline {base_value:.1f} {unit} ({ratio:.2f}x >= {threshold}x)"
+            )
+        elif ratio <= 1 / threshold:
+            improvements += 1
+            print(
+                f"bench_compare: faster {name}: {cur_value:.1f} {unit} vs "
+                f"baseline {base_value:.1f} {unit} ({ratio:.2f}x)"
+            )
+
+print(
+    f"bench_compare: {compared} entries compared, {regressions} above the "
+    f"{threshold}x advisory threshold, {improvements} markedly faster"
+)
+if regressions:
+    print("bench_compare: advisory only — smoke-mode CI numbers are noisy; rerun `cargo bench` measured before acting")
+PY
+
+# Advisory: never fail the build on a perf delta.
+exit 0

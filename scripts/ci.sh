@@ -26,4 +26,7 @@ cargo test -q --workspace --offline
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline
 
+echo "==> scripts/bench_compare.sh (advisory)"
+scripts/bench_compare.sh
+
 echo "==> ci.sh: all gates passed"

@@ -3,7 +3,9 @@
 
 use std::time::Duration;
 
-use arpshield::analysis::experiment::{t2_susceptibility, t4_false_positives};
+use arpshield::analysis::experiment::{
+    f1_detection_latency, t2_susceptibility, t3_coverage, t4_false_positives,
+};
 use arpshield::analysis::metrics::score_attack_run;
 use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
 use arpshield::attacks::PoisonVariant;
@@ -50,4 +52,27 @@ fn different_seeds_differ_in_detail() {
 fn tables_regenerate_identically() {
     assert_eq!(t2_susceptibility(9).to_csv(), t2_susceptibility(9).to_csv());
     assert_eq!(t4_false_positives(9).to_csv(), t4_false_positives(9).to_csv());
+}
+
+/// The parallel experiment runner merges results in index order, so a
+/// T3-style grid (and an F1 latency sweep) must render byte-identically
+/// whether it ran on one worker or four.
+///
+/// Setting `ARPSHIELD_THREADS` here cannot perturb the *other* tests in
+/// this binary even though they share the process: thread count never
+/// affects results — which is exactly what this test pins down.
+#[test]
+fn parallel_runner_matches_sequential_byte_for_byte() {
+    let grid = |threads: &str| {
+        std::env::set_var("ARPSHIELD_THREADS", threads);
+        let t3 = t3_coverage(13).to_csv();
+        let f1: Vec<String> =
+            f1_detection_latency(13, 6).iter().map(|series| series.to_csv()).collect();
+        std::env::remove_var("ARPSHIELD_THREADS");
+        (t3, f1)
+    };
+    let sequential = grid("1");
+    let parallel = grid("4");
+    assert_eq!(sequential.0, parallel.0, "T3 grid must not depend on the worker count");
+    assert_eq!(sequential.1, parallel.1, "F1 sweep must not depend on the worker count");
 }

@@ -285,3 +285,111 @@ properties! {
         );
     }
 }
+
+/// Fan-out devices (hub repeat, switch flood) forward *shared* frame
+/// buffers instead of per-copy clones; these properties pin down that
+/// the optimisation is invisible on the wire — every delivered copy and
+/// every trace record is byte-equal to the frame the sender emitted,
+/// exactly as the old clone-per-copy substrate behaved.
+mod frame_sharing {
+    use super::*;
+    use arpshield::netsim::{Device, DeviceCtx, Hub, Simulator, Switch, SwitchConfig};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    /// Emits one fixed frame at start-up.
+    struct Sender {
+        bytes: Vec<u8>,
+    }
+
+    impl Device for Sender {
+        fn name(&self) -> &str {
+            "sender"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+            ctx.send(PortId(0), self.bytes.clone());
+        }
+        fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, _: &[u8]) {}
+    }
+
+    /// Records every delivered frame's bytes.
+    struct Sink {
+        got: Rc<RefCell<Vec<Vec<u8>>>>,
+    }
+
+    impl Device for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, frame: &[u8]) {
+            self.got.borrow_mut().push(frame.to_vec());
+        }
+    }
+
+    /// Wires `ports - 1` sinks to a fan-out device, fires one frame into
+    /// port 0, and returns what every sink saw.
+    fn deliver(
+        device: Box<dyn Device>,
+        ports: usize,
+        bytes: Vec<u8>,
+    ) -> (Vec<Rc<RefCell<Vec<Vec<u8>>>>>, Simulator) {
+        let mut sim = Simulator::new(1);
+        let fanout = sim.add_device(device);
+        let src = sim.add_device(Box::new(Sender { bytes }));
+        sim.connect(src, PortId(0), fanout, PortId(0), Duration::from_micros(1)).unwrap();
+        let mut sinks = Vec::new();
+        for p in 1..ports as u16 {
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let sink = sim.add_device(Box::new(Sink { got: Rc::clone(&got) }));
+            sim.connect(sink, PortId(0), fanout, PortId(p), Duration::from_micros(1)).unwrap();
+            sinks.push(got);
+        }
+        sim.enable_trace();
+        sim.run_until(SimTime::from_secs(1));
+        (sinks, sim)
+    }
+
+    properties! {
+        #[test]
+        fn hub_repeat_is_byte_identical(payload in collection::vec(any::<u8>(), 1..600),
+                                        ports in 2usize..9) {
+            let (sinks, sim) = deliver(Box::new(Hub::new("hub", ports)), ports, payload.clone());
+            for got in &sinks {
+                let got = got.borrow();
+                prop_assert_eq!(got.as_slice(), std::slice::from_ref(&payload));
+            }
+            // The trace shares the same buffers and must agree byte-for-byte.
+            for traced in sim.trace().unwrap().frames() {
+                prop_assert_eq!(&traced.bytes[..], &payload[..]);
+            }
+        }
+
+        #[test]
+        fn switch_flood_is_byte_identical(inner in collection::vec(any::<u8>(), 0..600),
+                                          src_idx in 1u32..1000, ports in 2usize..9) {
+            let encoded = EthernetFrame::new(
+                MacAddr::BROADCAST,
+                MacAddr::from_index(src_idx),
+                EtherType::Other(0x1234),
+                inner,
+            )
+            .encode();
+            let (sw, _) = Switch::new("sw", SwitchConfig { ports, ..Default::default() });
+            let (sinks, sim) = deliver(Box::new(sw), ports, encoded.clone());
+            for got in &sinks {
+                let got = got.borrow();
+                prop_assert_eq!(got.as_slice(), std::slice::from_ref(&encoded));
+            }
+            for traced in sim.trace().unwrap().frames() {
+                prop_assert_eq!(&traced.bytes[..], &encoded[..]);
+            }
+        }
+    }
+}
