@@ -13,7 +13,7 @@ use std::time::Instant;
 use arpshield_core::experiment::{
     f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time, f5_passive_scale,
     f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage, t4_false_positives,
-    t5_cost, t6_dos_coverage,
+    t5_cost, t5_resilience, t6_dos_coverage,
 };
 use arpshield_core::{taxonomy, Series, Table};
 
@@ -81,6 +81,9 @@ fn main() {
     }
     if want("t5") {
         out.table("t5", &t5_cost(SEED));
+    }
+    if want("t5r") {
+        out.table("t5r", &t5_resilience(SEED));
     }
     if want("t6") {
         out.table("t6", &t6_dos_coverage(SEED));

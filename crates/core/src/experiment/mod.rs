@@ -13,6 +13,7 @@ mod latency;
 mod matrix;
 mod overhead;
 mod poisoned;
+mod resilience;
 
 pub use cost::t5_cost;
 pub use dos_coverage::t6_dos_coverage;
@@ -22,6 +23,7 @@ pub use latency::{f1_detection_latency, f3_resolution_latency};
 pub use matrix::{t2_susceptibility, t3_coverage};
 pub use overhead::{f2_overhead, f5_passive_scale};
 pub use poisoned::f4_poisoned_time;
+pub use resilience::{t5_resilience, LOSS_GRID};
 
 /// The scheme subset the detection-latency figure sweeps (the ones that
 /// raise alerts at all).

@@ -16,6 +16,7 @@
 //! "Zero registry dependencies" section): no rayon, no crossbeam — the
 //! whole pool is a counter, a mutex per slot, and scoped threads.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -46,7 +47,11 @@ pub fn thread_count() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any job (the scope joins all workers first).
+/// Propagates the first (lowest-index) panicking job's payload,
+/// prefixed with the job index when the payload is a string. Every job
+/// still runs to completion first — workers catch panics instead of
+/// unwinding through the pool, so no mutex is ever poisoned and no
+/// second panic can abort the process mid-unwind.
 pub fn run_indexed<R, F>(jobs: Vec<F>) -> Vec<R>
 where
     F: FnOnce() -> R + Send,
@@ -57,7 +62,8 @@ where
         return jobs.into_iter().map(|job| job()).collect();
     }
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
+        slots.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -67,20 +73,39 @@ where
                     break;
                 }
                 let job = slots[i].lock().unwrap().take().expect("each index claimed once");
-                let result = job();
+                let result = catch_unwind(AssertUnwindSafe(job));
                 *results[i].lock().unwrap() = Some(result);
             });
         }
     });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().unwrap().expect("scope joined every worker"))
+        .enumerate()
+        .map(|(i, slot)| {
+            let result = slot.into_inner().expect("no worker panics, so no poisoned slots");
+            match result.expect("scope joined every worker") {
+                Ok(value) => value,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned());
+                    match msg {
+                        Some(msg) => panic!("parallel job {i} panicked: {msg}"),
+                        // Non-string payload: re-raise it untouched so
+                        // downcasting callers still work.
+                        None => resume_unwind(payload),
+                    }
+                }
+            }
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn results_come_back_in_index_order() {
@@ -119,6 +144,23 @@ mod tests {
             run_indexed(jobs)
         };
         assert_eq!(run("1"), run("8"));
+
+        // A panicking job must surface as a single panic naming the
+        // job, not poison the pool or abort the process.
+        std::env::set_var("ARPSHIELD_THREADS", "4");
+        let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect();
+        let err = catch_unwind(AssertUnwindSafe(|| run_indexed(jobs))).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "parallel job 5 panicked: boom at 5");
 
         std::env::remove_var("ARPSHIELD_THREADS");
         assert!(thread_count() >= 1);

@@ -5,18 +5,14 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use arpshield_attacks::GroundTruth;
-use arpshield_crypto::{Akd, KeyPair};
 use arpshield_host::apps::{PingApp, PingStats};
-use arpshield_host::{ArpPolicy, Host, HostConfig, HostHandle};
+use arpshield_host::{ArpPolicy, Host, HostConfig, HostHandle, RetryPolicy};
 use arpshield_netsim::{
-    DeviceId, Hub, PortId, PortSecurityConfig, SimTime, Simulator, Switch, SwitchConfig,
-    SwitchHandle, ViolationAction,
+    DeviceId, Hub, LinkProfile, PortId, SimTime, Simulator, Switch, SwitchConfig, SwitchHandle,
 };
 use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
 use arpshield_schemes::{
-    static_arp, ActiveProbeConfig, ActiveProbeMonitor, AkdApp, AlertLog, AnticapHook, AntidoteHook,
-    DaiConfig, DaiInspector, PassiveConfig, PassiveMonitor, RateConfig, RateMonitor, SArpConfig,
-    SArpHook, SchemeKind, StatefulConfig, StatefulMonitor, TarpConfig, TarpHook, Ticket,
+    static_arp, AlertLog, LanPlan, SchemeHardening, SchemeKind, SchemeResources,
 };
 
 /// Addressing constants of the standard LAN.
@@ -80,11 +76,14 @@ pub struct ScenarioConfig {
     /// When the attacker (if any) first acts — after the warm-up in
     /// which legitimate bindings circulate.
     pub attack_start: Duration,
+    impairment: LinkProfile,
+    resolver_retry: RetryPolicy,
+    hardening: SchemeHardening,
 }
 
 impl ScenarioConfig {
     /// Defaults: 8 hosts, `Standard` policy, no scheme, 12 s run with the
-    /// attack at 3 s.
+    /// attack at 3 s, perfect wires, legacy resolver retries.
     pub fn new(seed: u64) -> Self {
         ScenarioConfig {
             seed,
@@ -95,6 +94,9 @@ impl ScenarioConfig {
             ping_interval: Duration::from_millis(250),
             duration: Duration::from_secs(12),
             attack_start: Duration::from_secs(3),
+            impairment: LinkProfile::PERFECT,
+            resolver_retry: RetryPolicy::default(),
+            hardening: SchemeHardening::default(),
         }
     }
 
@@ -127,6 +129,40 @@ impl ScenarioConfig {
     pub fn with_arp_timeout(mut self, timeout: Duration) -> Self {
         self.arp_timeout = timeout;
         self
+    }
+
+    /// Applies a link impairment profile to every link in the LAN.
+    pub fn with_impairment(mut self, profile: LinkProfile) -> Self {
+        self.impairment = profile;
+        self
+    }
+
+    /// Sets the ARP resolver retransmission policy of every host.
+    pub fn with_resolver_retry(mut self, policy: RetryPolicy) -> Self {
+        self.resolver_retry = policy;
+        self
+    }
+
+    /// Sets the schemes' fault-tolerance knobs (probe re-issues,
+    /// key-fetch retries) for lossy runs.
+    pub fn with_hardening(mut self, hardening: SchemeHardening) -> Self {
+        self.hardening = hardening;
+        self
+    }
+
+    /// The link impairment profile applied to the LAN.
+    pub fn impairment(&self) -> LinkProfile {
+        self.impairment
+    }
+
+    /// The host resolver retransmission policy.
+    pub fn resolver_retry(&self) -> RetryPolicy {
+        self.resolver_retry
+    }
+
+    /// The schemes' fault-tolerance knobs.
+    pub fn hardening(&self) -> SchemeHardening {
+        self.hardening
     }
 }
 
@@ -224,118 +260,76 @@ impl BuiltLan {
 /// monitor-based schemes the switch mirrors all ingress traffic to a
 /// fan-out hub carrying the monitors. `hosts[0]` is the designated
 /// victim of any subsequently attached attack.
+///
+/// All scheme-specific wiring comes from
+/// [`SchemeKind::instantiate`]: this builder only applies the
+/// mechanisms the returned
+/// [`SchemeInstallation`](arpshield_schemes::SchemeInstallation)
+/// declares, with no per-scheme branches.
 pub fn build(config: ScenarioConfig) -> BuiltLan {
     let alerts = AlertLog::new();
     let truth = GroundTruth::new();
-    let scheme = config.scheme;
 
-    let needs_monitor = matches!(
-        scheme,
-        SchemeKind::Passive
-            | SchemeKind::ActiveProbe
-            | SchemeKind::Stateful
-            | SchemeKind::Hybrid
-            | SchemeKind::RateMonitor
-    );
-    let ports = config.n_hosts + 12;
-    let mirror_port = (ports - 1) as u16;
-
-    // --- Switch ---
-    let mut switch_config = SwitchConfig {
-        ports,
-        cam_capacity: 1024,
-        cam_aging: Duration::from_secs(300),
-        mirror_to: needs_monitor.then_some(PortId(mirror_port)),
-        ..Default::default()
-    };
-    if scheme == SchemeKind::PortSecurity {
-        switch_config.port_security = Some(PortSecurityConfig {
-            max_macs_per_port: 2,
-            violation: ViolationAction::ShutdownPort,
-        });
-    }
-    let mut sim = Simulator::new(config.seed);
-    let (mut switch, switch_handle) = Switch::new("sw", switch_config);
-
-    // --- DAI inspector (installed before the switch is boxed) ---
+    // --- Scheme instantiation ---
     // Trusted ports: the gateway's (0) and the first expansion port,
     // reserved for trusted infrastructure (benign scenarios attach their
     // DHCP server there; attack scenarios put the passive sampler there,
     // which transmits nothing).
     let infrastructure_port = PortId(1 + config.n_hosts as u16);
-    if scheme == SchemeKind::Dai {
-        let mut dai_config = DaiConfig::new([PortId(0), infrastructure_port])
-            .with_static(addr::GATEWAY_IP, addr::gateway_mac());
-        for i in 0..config.n_hosts {
-            dai_config = dai_config.with_static(addr::host_ip(i), addr::host_mac(i));
-        }
-        switch.set_inspector(Box::new(DaiInspector::new(dai_config, alerts.clone())));
+    let plan = LanPlan {
+        gateway: (addr::GATEWAY_IP, addr::gateway_mac()),
+        hosts: (0..config.n_hosts).map(|i| (addr::host_ip(i), addr::host_mac(i))).collect(),
+        akd: (addr::AKD_IP, addr::akd_mac()),
+        trusted_ports: vec![PortId(0), infrastructure_port],
+        probe_source_mac: MacAddr::from_index(9000),
+        tarp_lta_seed: 0x17A,
+        akd_key_seed: addr::AKD_KEY_SEED,
+        ticket_lifetime: SimTime::from_secs(86_400),
+        sarp_max_age: Duration::from_secs(5),
+        hardening: config.hardening,
+    };
+    let mut resources = SchemeResources::new(plan, alerts.clone());
+    let installation = config.scheme.instantiate(&mut resources);
+
+    let needs_monitor = !installation.monitors.is_empty();
+    let ports = config.n_hosts + 12;
+    let mirror_port = (ports - 1) as u16;
+
+    // --- Switch ---
+    let switch_config = SwitchConfig {
+        ports,
+        cam_capacity: 1024,
+        cam_aging: Duration::from_secs(300),
+        mirror_to: needs_monitor.then_some(PortId(mirror_port)),
+        port_security: installation.port_security,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(config.seed);
+    sim.set_default_impairment(config.impairment);
+    let (mut switch, switch_handle) = Switch::new("sw", switch_config);
+    if let Some(inspector) = installation.inspector {
+        switch.set_inspector(inspector);
     }
     let switch_id = sim.add_device(Box::new(switch));
 
-    // --- Host policy & scheme-wide resources ---
-    let host_policy = match scheme {
-        SchemeKind::StaticArp | SchemeKind::SArp | SchemeKind::Tarp => ArpPolicy::StaticOnly,
-        _ => config.policy,
+    // --- Hosts ---
+    let host_policy = installation.policy_override.unwrap_or(config.policy);
+    let host_config = |name: String, mac: MacAddr, ip: Ipv4Addr| {
+        HostConfig::static_ip(name, mac, ip, addr::subnet())
+            .with_policy(host_policy)
+            .with_arp_timeout(config.arp_timeout)
+            .with_resolver_retry(config.resolver_retry)
     };
-    // TARP provisioning: the LTA issues every legitimate station a
-    // long-lived ticket; hosts know only the LTA public key.
-    let tarp_lta = (scheme == SchemeKind::Tarp).then(|| KeyPair::from_seed(0x17A));
-    let sarp_resources = (scheme == SchemeKind::SArp).then(|| {
-        let registry = Rc::new(RefCell::new(Akd::new()));
-        let akd_keypair = KeyPair::from_seed(addr::AKD_KEY_SEED);
-        // Enrol every legitimate principal.
-        let enrol = |ip: Ipv4Addr| {
-            let kp = KeyPair::from_seed(addr::key_seed(ip));
-            registry.borrow_mut().register(u32::from(ip.to_u32()), kp.public_key());
-        };
-        enrol(addr::GATEWAY_IP);
-        enrol(addr::AKD_IP);
-        for i in 0..config.n_hosts {
-            enrol(addr::host_ip(i));
+    let add_agent = |host: &mut Host, ip: Ipv4Addr, mac: MacAddr| {
+        if let Some(agent) = &installation.host_agent {
+            host.add_hook(agent(ip, mac));
         }
-        (registry, akd_keypair)
-    });
-    let sarp_hook = |ip: Ipv4Addr, local: bool| -> Box<SArpHook> {
-        let (registry, akd_keypair) = sarp_resources.as_ref().unwrap();
-        Box::new(SArpHook::new(
-            SArpConfig {
-                keypair: KeyPair::from_seed(addr::key_seed(ip)),
-                akd_ip: addr::AKD_IP,
-                akd_mac: addr::akd_mac(),
-                akd_key: akd_keypair.public_key(),
-                max_age: Duration::from_secs(5),
-                local_akd: local.then(|| Rc::clone(registry)),
-                unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
-            },
-            alerts.clone(),
-        ))
-    };
-    let add_host_hooks = |host: &mut Host, ip: Ipv4Addr, mac: MacAddr| match scheme {
-        SchemeKind::Anticap => host.add_hook(Box::new(AnticapHook::new(alerts.clone()))),
-        SchemeKind::Antidote => host.add_hook(Box::new(AntidoteHook::new(alerts.clone()))),
-        SchemeKind::SArp => host.add_hook(sarp_hook(ip, false)),
-        SchemeKind::Tarp => {
-            let lta = tarp_lta.as_ref().unwrap();
-            host.add_hook(Box::new(TarpHook::new(
-                TarpConfig {
-                    ticket: Ticket::issue(lta, ip, mac, SimTime::from_secs(86_400)),
-                    lta_key: lta.public_key(),
-                    unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
-                },
-                alerts.clone(),
-            )));
-        }
-        _ => {}
     };
 
     // --- Gateway (port 0) ---
-    let (mut gateway, gateway_handle) = Host::new(
-        HostConfig::static_ip("gw", addr::gateway_mac(), addr::GATEWAY_IP, addr::subnet())
-            .with_policy(host_policy)
-            .with_arp_timeout(config.arp_timeout),
-    );
-    add_host_hooks(&mut gateway, addr::GATEWAY_IP, addr::gateway_mac());
+    let (mut gateway, gateway_handle) =
+        Host::new(host_config("gw".into(), addr::gateway_mac(), addr::GATEWAY_IP));
+    add_agent(&mut gateway, addr::GATEWAY_IP, addr::gateway_mac());
     let gw_id = sim.add_device(Box::new(gateway));
     sim.connect(gw_id, PortId(0), switch_id, PortId(0), Duration::from_micros(5)).unwrap();
 
@@ -344,12 +338,8 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     let mut pings = Vec::with_capacity(config.n_hosts);
     for i in 0..config.n_hosts {
         let ip = addr::host_ip(i);
-        let (mut host, handle) = Host::new(
-            HostConfig::static_ip(format!("h{i}"), addr::host_mac(i), ip, addr::subnet())
-                .with_policy(host_policy)
-                .with_arp_timeout(config.arp_timeout),
-        );
-        add_host_hooks(&mut host, ip, addr::host_mac(i));
+        let (mut host, handle) = Host::new(host_config(format!("h{i}"), addr::host_mac(i), ip));
+        add_agent(&mut host, ip, addr::host_mac(i));
         let (ping, ping_stats) = PingApp::new(addr::GATEWAY_IP, config.ping_interval);
         host.add_app(Box::new(ping));
         let id = sim.add_device(Box::new(host));
@@ -360,34 +350,31 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     }
     let mut next_free_port = 1 + config.n_hosts as u16;
 
-    // --- AKD host (S-ARP only) ---
-    if let Some((registry, akd_keypair)) = &sarp_resources {
-        let (mut akd_host, _) = Host::new(
-            HostConfig::static_ip("akd", addr::akd_mac(), addr::AKD_IP, addr::subnet())
+    // --- Auxiliary infrastructure station (the S-ARP AKD) ---
+    if let Some(aux) = installation.aux_station {
+        let (mut aux_host, _) = Host::new(
+            HostConfig::static_ip(aux.name, aux.mac, aux.ip, addr::subnet())
                 .with_policy(ArpPolicy::StaticOnly)
-                .with_arp_timeout(config.arp_timeout),
+                .with_arp_timeout(config.arp_timeout)
+                .with_resolver_retry(config.resolver_retry),
         );
-        akd_host.add_hook(sarp_hook(addr::AKD_IP, true));
-        akd_host.add_app(Box::new(AkdApp::new(
-            Rc::clone(registry),
-            akd_keypair.clone(),
-            alerts.clone(),
-        )));
-        let id = sim.add_device(Box::new(akd_host));
+        for hook in aux.hooks {
+            aux_host.add_hook(hook);
+        }
+        for app in aux.apps {
+            aux_host.add_app(app);
+        }
+        let id = sim.add_device(Box::new(aux_host));
         sim.connect(id, PortId(0), switch_id, PortId(next_free_port), Duration::from_micros(5))
             .unwrap();
         next_free_port += 1;
     }
 
     // --- Static entries ---
-    if scheme == SchemeKind::StaticArp {
-        let mut bindings: Vec<(Ipv4Addr, MacAddr)> = vec![(addr::GATEWAY_IP, addr::gateway_mac())];
-        for i in 0..config.n_hosts {
-            bindings.push((addr::host_ip(i), addr::host_mac(i)));
-        }
-        static_arp(&gateway_handle, &bindings);
+    if let Some(bindings) = &installation.static_bindings {
+        static_arp(&gateway_handle, bindings);
         for handle in &hosts {
-            static_arp(handle, &bindings);
+            static_arp(handle, bindings);
         }
     }
 
@@ -400,39 +387,11 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
             .unwrap();
         monitor_hub = Some(hub_id);
         next_hub_port = 1;
-        let mut attach_monitor = |dev: Box<dyn arpshield_netsim::Device>| {
-            let id = sim.add_device(dev);
+        for monitor in installation.monitors {
+            let id = sim.add_device(monitor);
             sim.connect(id, PortId(0), hub_id, PortId(next_hub_port), Duration::from_micros(2))
                 .unwrap();
             next_hub_port += 1;
-        };
-        match scheme {
-            SchemeKind::Passive => attach_monitor(Box::new(PassiveMonitor::new(
-                PassiveConfig::default(),
-                alerts.clone(),
-            ))),
-            SchemeKind::Stateful => attach_monitor(Box::new(StatefulMonitor::new(
-                StatefulConfig::default(),
-                alerts.clone(),
-            ))),
-            SchemeKind::ActiveProbe => attach_monitor(Box::new(ActiveProbeMonitor::new(
-                ActiveProbeConfig::new(MacAddr::from_index(9000)),
-                alerts.clone(),
-            ))),
-            SchemeKind::RateMonitor => {
-                attach_monitor(Box::new(RateMonitor::new(RateConfig::default(), alerts.clone())))
-            }
-            SchemeKind::Hybrid => {
-                attach_monitor(Box::new(StatefulMonitor::new(
-                    StatefulConfig::default(),
-                    alerts.clone(),
-                )));
-                attach_monitor(Box::new(ActiveProbeMonitor::new(
-                    ActiveProbeConfig::new(MacAddr::from_index(9000)),
-                    alerts.clone(),
-                )));
-            }
-            _ => unreachable!(),
         }
     }
 
@@ -520,5 +479,30 @@ mod tests {
         let a = lan.attach(Box::new(Dummy));
         let b = lan.attach(Box::new(Dummy));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn impaired_lan_still_pings_with_hardened_retries() {
+        let mut lan = build(
+            ScenarioConfig::new(5)
+                .with_hosts(3)
+                .with_impairment(LinkProfile::default().with_loss(0.05))
+                .with_resolver_retry(RetryPolicy::exponential(
+                    Duration::from_millis(500),
+                    5,
+                    Duration::from_secs(2),
+                ))
+                .with_hardening(SchemeHardening::lossy()),
+        );
+        lan.sim.run_until(SimTime::from_secs(6));
+        let p = lan.pings[0].borrow();
+        assert!(p.sent > 10);
+        assert!(
+            p.received as f64 / p.sent as f64 > 0.7,
+            "lossy delivery collapsed: {}/{}",
+            p.received,
+            p.sent
+        );
+        assert!(lan.sim.wire_stats().dropped_lost > 0, "losses must actually occur");
     }
 }

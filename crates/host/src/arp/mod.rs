@@ -3,7 +3,9 @@
 mod cache;
 mod policy;
 mod resolver;
+mod retry;
 
 pub use cache::{ArpCache, ArpEntry, EntryOrigin};
 pub use policy::{AdmitContext, ArpPolicy, CacheVerdict};
-pub(crate) use resolver::{PendingPacket, Resolver};
+pub(crate) use resolver::{PendingPacket, Resolver, RetryTick};
+pub use retry::RetryPolicy;

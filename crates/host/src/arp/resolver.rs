@@ -6,6 +6,8 @@ use std::time::Duration;
 use arpshield_netsim::SimTime;
 use arpshield_packet::{IpProtocol, Ipv4Addr};
 
+use crate::arp::RetryPolicy;
+
 /// An L3 payload parked until its next hop resolves.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingPacket {
@@ -17,27 +19,38 @@ pub(crate) struct PendingPacket {
 #[derive(Debug)]
 struct Pending {
     packets: Vec<PendingPacket>,
-    retries_left: u32,
+    /// Retransmissions already sent for this resolution.
+    attempts: u32,
     first_requested: SimTime,
+}
+
+/// What to do when a resolution's retransmit timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RetryTick {
+    /// Retransmit the request and re-arm the timer after `next_delay`.
+    Retransmit { next_delay: Duration },
+    /// The resolution was abandoned; `dropped` packets were queued
+    /// behind it.
+    Exhausted { dropped: usize },
 }
 
 /// Tracks outstanding ARP requests and the packets queued behind them.
 #[derive(Debug)]
 pub(crate) struct Resolver {
     pending: HashMap<Ipv4Addr, Pending>,
-    pub retransmit_interval: Duration,
-    pub max_retries: u32,
+    pub policy: RetryPolicy,
     pub max_queue_per_ip: usize,
 }
 
 impl Resolver {
-    pub fn new() -> Self {
-        Resolver {
-            pending: HashMap::new(),
-            retransmit_interval: Duration::from_secs(1),
-            max_retries: 3,
-            max_queue_per_ip: 16,
-        }
+    pub fn new(policy: RetryPolicy) -> Self {
+        Resolver { pending: HashMap::new(), policy, max_queue_per_ip: 16 }
+    }
+
+    /// The delay before the first retransmission, armed alongside the
+    /// initial request.
+    pub fn first_delay(&self) -> Duration {
+        self.policy.interval_for(0)
     }
 
     /// True when a request for `ip` is outstanding.
@@ -59,11 +72,7 @@ impl Resolver {
             None => {
                 self.pending.insert(
                     next_hop,
-                    Pending {
-                        packets: vec![packet],
-                        retries_left: self.max_retries,
-                        first_requested: now,
-                    },
+                    Pending { packets: vec![packet], attempts: 0, first_requested: now },
                 );
                 true
             }
@@ -77,10 +86,7 @@ impl Resolver {
         if self.pending.contains_key(&ip) {
             return false;
         }
-        self.pending.insert(
-            ip,
-            Pending { packets: Vec::new(), retries_left: self.max_retries, first_requested: now },
-        );
+        self.pending.insert(ip, Pending { packets: Vec::new(), attempts: 0, first_requested: now });
         true
     }
 
@@ -90,27 +96,24 @@ impl Resolver {
         self.pending.remove(&ip).map(|p| (p.packets, p.first_requested))
     }
 
-    /// Burns one retry for `ip`. Returns `Some(true)` if a retransmission
-    /// should be sent, `Some(false)` if the resolution is exhausted (and
-    /// has been dropped), `None` if nothing was outstanding.
-    pub fn tick_retry(&mut self, ip: Ipv4Addr) -> Option<bool> {
+    /// Burns one retry for `ip`. Returns `None` if nothing was
+    /// outstanding; otherwise whether to retransmit (and after what
+    /// backoff) or give up (the queue has been dropped).
+    pub fn tick_retry(&mut self, ip: Ipv4Addr) -> Option<RetryTick> {
         let p = self.pending.get_mut(&ip)?;
-        if p.retries_left == 0 {
-            self.pending.remove(&ip);
-            return Some(false);
+        if p.attempts >= self.policy.max_retries {
+            let dropped = self.pending.remove(&ip).map(|p| p.packets.len()).unwrap_or(0);
+            return Some(RetryTick::Exhausted { dropped });
         }
-        p.retries_left -= 1;
-        Some(true)
+        p.attempts += 1;
+        // The timer that just fired waited `interval_for(attempts - 1)`;
+        // the next one waits the next step of the backoff curve.
+        Some(RetryTick::Retransmit { next_delay: self.policy.interval_for(p.attempts) })
     }
 
     /// Number of in-flight resolutions.
     pub fn outstanding(&self) -> usize {
         self.pending.len()
-    }
-
-    /// Packets currently queued behind the resolution of `ip`.
-    pub fn queued_len(&self, ip: Ipv4Addr) -> usize {
-        self.pending.get(&ip).map(|p| p.packets.len()).unwrap_or(0)
     }
 }
 
@@ -124,9 +127,13 @@ mod tests {
         PendingPacket { dst_ip: IP, protocol: IpProtocol::Udp, payload: vec![n] }
     }
 
+    fn resolver() -> Resolver {
+        Resolver::new(RetryPolicy::default())
+    }
+
     #[test]
     fn first_enqueue_triggers_request() {
-        let mut r = Resolver::new();
+        let mut r = resolver();
         assert!(r.enqueue(SimTime::ZERO, IP, pkt(1)));
         assert!(!r.enqueue(SimTime::ZERO, IP, pkt(2)));
         assert!(r.is_outstanding(IP));
@@ -138,7 +145,7 @@ mod tests {
 
     #[test]
     fn queue_is_bounded() {
-        let mut r = Resolver::new();
+        let mut r = resolver();
         for n in 0..40 {
             r.enqueue(SimTime::ZERO, IP, pkt(n));
         }
@@ -148,19 +155,48 @@ mod tests {
 
     #[test]
     fn retries_exhaust() {
-        let mut r = Resolver::new();
+        let mut r = resolver();
         r.enqueue(SimTime::ZERO, IP, pkt(1));
-        assert_eq!(r.tick_retry(IP), Some(true));
-        assert_eq!(r.tick_retry(IP), Some(true));
-        assert_eq!(r.tick_retry(IP), Some(true));
-        assert_eq!(r.tick_retry(IP), Some(false)); // exhausted, dropped
+        r.enqueue(SimTime::ZERO, IP, pkt(2));
+        let fixed = RetryTick::Retransmit { next_delay: Duration::from_secs(1) };
+        assert_eq!(r.tick_retry(IP), Some(fixed));
+        assert_eq!(r.tick_retry(IP), Some(fixed));
+        assert_eq!(r.tick_retry(IP), Some(fixed));
+        // Exhausted: the give-up reports how many packets it stranded.
+        assert_eq!(r.tick_retry(IP), Some(RetryTick::Exhausted { dropped: 2 }));
         assert_eq!(r.tick_retry(IP), None);
         assert!(!r.is_outstanding(IP));
     }
 
     #[test]
+    fn exponential_policy_schedules_growing_backoff() {
+        let mut r = Resolver::new(RetryPolicy::exponential(
+            Duration::from_millis(500),
+            4,
+            Duration::from_secs(2),
+        ));
+        assert_eq!(r.first_delay(), Duration::from_millis(500));
+        r.enqueue(SimTime::ZERO, IP, pkt(1));
+        let delays: Vec<Duration> = std::iter::from_fn(|| match r.tick_retry(IP) {
+            Some(RetryTick::Retransmit { next_delay }) => Some(next_delay),
+            _ => None,
+        })
+        .collect();
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_secs(1),
+                Duration::from_secs(2),
+                Duration::from_secs(2),
+                Duration::from_secs(2),
+            ]
+        );
+        assert_eq!(r.tick_retry(IP), None, "give-up dropped the entry");
+    }
+
+    #[test]
     fn probe_registration() {
-        let mut r = Resolver::new();
+        let mut r = resolver();
         assert!(r.register_probe(SimTime::ZERO, IP));
         assert!(!r.register_probe(SimTime::ZERO, IP));
         assert_eq!(r.outstanding(), 1);

@@ -1,0 +1,79 @@
+//! Retransmit policy for outstanding ARP resolutions.
+
+use std::time::Duration;
+
+/// How a host retransmits unanswered ARP requests.
+///
+/// The default reproduces the classic fixed-interval behaviour (1 s
+/// between retransmissions, three retries, then give up) that every
+/// pre-impairment experiment was calibrated against. Lossy topologies
+/// opt into [`RetryPolicy::exponential`], which backs off between
+/// attempts and keeps retrying longer before abandoning the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay between the initial request and the first retransmission.
+    pub initial_interval: Duration,
+    /// Retransmissions attempted before the resolution is abandoned.
+    pub max_retries: u32,
+    /// Interval multiplier applied per retransmission (1 = fixed).
+    pub backoff_factor: u32,
+    /// Ceiling on any single inter-attempt interval.
+    pub max_interval: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::fixed(Duration::from_secs(1), 3)
+    }
+}
+
+impl RetryPolicy {
+    /// A fixed-interval policy: `max_retries` retransmissions spaced
+    /// `interval` apart.
+    pub fn fixed(interval: Duration, max_retries: u32) -> Self {
+        RetryPolicy {
+            initial_interval: interval,
+            max_retries,
+            backoff_factor: 1,
+            max_interval: interval,
+        }
+    }
+
+    /// A bounded exponential policy: intervals double per attempt,
+    /// capped at `max_interval`.
+    pub fn exponential(initial: Duration, max_retries: u32, max_interval: Duration) -> Self {
+        RetryPolicy { initial_interval: initial, max_retries, backoff_factor: 2, max_interval }
+    }
+
+    /// The delay scheduled before retransmission number `attempt`
+    /// (attempt 0 is the wait after the initial request).
+    pub fn interval_for(&self, attempt: u32) -> Duration {
+        let factor = self.backoff_factor.saturating_pow(attempt.min(30)).max(1);
+        self.initial_interval.saturating_mul(factor).min(self.max_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_legacy_fixed_schedule() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        for attempt in 0..4 {
+            assert_eq!(p.interval_for(attempt), Duration::from_secs(1));
+        }
+    }
+
+    #[test]
+    fn exponential_doubles_then_caps() {
+        let p = RetryPolicy::exponential(Duration::from_millis(250), 6, Duration::from_secs(2));
+        assert_eq!(p.interval_for(0), Duration::from_millis(250));
+        assert_eq!(p.interval_for(1), Duration::from_millis(500));
+        assert_eq!(p.interval_for(2), Duration::from_secs(1));
+        assert_eq!(p.interval_for(3), Duration::from_secs(2));
+        assert_eq!(p.interval_for(4), Duration::from_secs(2), "capped");
+        assert_eq!(p.interval_for(30), Duration::from_secs(2), "no overflow");
+    }
+}

@@ -40,7 +40,7 @@ mod iface;
 mod stack;
 mod stats;
 
-pub use arp::{ArpCache, ArpEntry, ArpPolicy, CacheVerdict, EntryOrigin};
+pub use arp::{ArpCache, ArpEntry, ArpPolicy, CacheVerdict, EntryOrigin, RetryPolicy};
 pub use hooks::{ArpVerdict, FrameVerdict, HostApi, HostHook};
 pub use iface::Interface;
 pub use stack::{tokens, Host, HostConfig, HostCore, HostHandle};

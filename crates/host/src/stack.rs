@@ -13,6 +13,7 @@ use arpshield_packet::{
 use crate::apps::App;
 use crate::arp::{
     AdmitContext, ArpCache, ArpPolicy, CacheVerdict, EntryOrigin, PendingPacket, Resolver,
+    RetryPolicy, RetryTick,
 };
 use crate::dhcp::{
     DhcpClient, DhcpClientConfig, DhcpClientInfo, DhcpServer, DhcpServerConfig, DhcpServerState,
@@ -99,6 +100,8 @@ pub struct HostConfig {
     /// configuration (boot or DHCP bind) — benign traffic monitors must
     /// not misread.
     pub announce_gratuitous: bool,
+    /// ARP retransmit policy (defaults to the classic fixed schedule).
+    pub resolver_retry: RetryPolicy,
 }
 
 impl HostConfig {
@@ -120,6 +123,7 @@ impl HostConfig {
             dhcp_server: None,
             respond_to_ping: true,
             announce_gratuitous: false,
+            resolver_retry: RetryPolicy::default(),
         }
     }
 
@@ -136,6 +140,7 @@ impl HostConfig {
             dhcp_server: None,
             respond_to_ping: true,
             announce_gratuitous: false,
+            resolver_retry: RetryPolicy::default(),
         }
     }
 
@@ -166,6 +171,12 @@ impl HostConfig {
     /// Enables gratuitous-ARP self-announcement.
     pub fn with_gratuitous_announce(mut self) -> Self {
         self.announce_gratuitous = true;
+        self
+    }
+
+    /// Sets the ARP retransmit policy.
+    pub fn with_resolver_retry(mut self, policy: RetryPolicy) -> Self {
+        self.resolver_retry = policy;
         self
     }
 }
@@ -263,7 +274,7 @@ impl HostCore {
                 if fresh {
                     self.send_arp_request(ctx, next_hop);
                     ctx.schedule_in(
-                        self.resolver.retransmit_interval,
+                        self.resolver.first_delay(),
                         tokens::encode(tokens::CLASS_RESOLVER, 0, next_hop.to_u32()),
                     );
                 }
@@ -410,7 +421,7 @@ impl Host {
                     iface,
                     policy: config.policy,
                     cache,
-                    resolver: Resolver::new(),
+                    resolver: Resolver::new(config.resolver_retry),
                     stats,
                     respond_to_ping: config.respond_to_ping,
                     announce_gratuitous: config.announce_gratuitous,
@@ -625,16 +636,16 @@ impl Device for Host {
         match class {
             tokens::CLASS_RESOLVER => {
                 let ip = Ipv4Addr::from_u32(payload);
-                let queued = core.resolver.queued_len(ip);
                 match core.resolver.tick_retry(ip) {
-                    Some(true) => {
+                    Some(RetryTick::Retransmit { next_delay }) => {
+                        core.stats.borrow_mut().arp_retransmissions += 1;
                         core.send_arp_request(ctx, ip);
-                        ctx.schedule_in(core.resolver.retransmit_interval, token);
+                        ctx.schedule_in(next_delay, token);
                     }
-                    Some(false) => {
+                    Some(RetryTick::Exhausted { dropped }) => {
                         let mut stats = core.stats.borrow_mut();
                         stats.resolutions_failed += 1;
-                        stats.ipv4_send_failures += queued as u64;
+                        stats.ipv4_send_failures += dropped as u64;
                     }
                     None => {}
                 }
@@ -829,6 +840,55 @@ mod tests {
             stats.arp_requests_sent
         );
         assert_eq!(stats.resolutions_completed, 0);
+    }
+
+    #[test]
+    fn exponential_backoff_spaces_retransmissions_and_counts_give_up() {
+        // One datagram toward a dead address at t = 100 ms under an
+        // exponential policy: the request goes out at 100 ms, retries
+        // follow after 0.5 s, 1 s, 2 s, 2 s (capped), then give-up at
+        // 7.6 s. Five requests on the wire, four of them retries, one
+        // abandoned resolution.
+        struct OneShot;
+        impl App for OneShot {
+            fn name(&self) -> &str {
+                "one-shot"
+            }
+            fn on_start(&mut self, api: &mut HostApi<'_, '_>) {
+                api.schedule(Duration::from_millis(100), 0);
+            }
+            fn on_timer(&mut self, api: &mut HostApi<'_, '_>, _: u32) {
+                api.send_udp(Ipv4Addr::new(10, 0, 0, 99), 5555, 7000, b"void".to_vec());
+            }
+        }
+        let policy =
+            RetryPolicy::exponential(Duration::from_millis(500), 4, Duration::from_secs(2));
+        let mut sim = Simulator::new(9);
+        let (sw, _) = Switch::new("sw", SwitchConfig::default());
+        let sw = sim.add_device(Box::new(sw));
+        let (mut host, handle) = Host::new(
+            HostConfig::static_ip("h", MacAddr::from_index(1), ip(1), cidr())
+                .with_resolver_retry(policy),
+        );
+        host.add_app(Box::new(OneShot));
+        let id = sim.add_device(Box::new(host));
+        sim.connect(id, PortId(0), sw, PortId(0), Duration::from_micros(5)).unwrap();
+
+        // Before the first backoff interval only the initial request is out.
+        sim.run_until(SimTime::from_millis(550));
+        assert_eq!(handle.stats.borrow().arp_requests_sent, 1);
+        // 0.6 s and 1.6 s marks: first and second retransmissions.
+        sim.run_until(SimTime::from_millis(1100));
+        assert_eq!(handle.stats.borrow().arp_retransmissions, 1);
+        sim.run_until(SimTime::from_millis(2100));
+        assert_eq!(handle.stats.borrow().arp_retransmissions, 2);
+        // Run out the schedule: 3.6 s and 5.6 s retries, 7.6 s give-up.
+        sim.run_until(SimTime::from_secs(10));
+        let stats = handle.stats.borrow();
+        assert_eq!(stats.arp_retransmissions, 4);
+        assert_eq!(stats.arp_requests_sent, 5);
+        assert_eq!(stats.resolutions_failed, 1, "give-up must be counted once");
+        assert_eq!(stats.ipv4_send_failures, 1, "the queued datagram was dropped");
     }
 
     #[test]

@@ -24,8 +24,10 @@ pub struct HostStats {
     pub resolutions_completed: u64,
     /// Sum of resolution latencies, for averaging.
     pub resolution_latency_total: Duration,
-    /// Resolutions abandoned after retry exhaustion.
+    /// Resolutions abandoned after retry exhaustion (give-ups).
     pub resolutions_failed: u64,
+    /// ARP requests retransmitted by the resolver's retry policy.
+    pub arp_retransmissions: u64,
     /// IPv4 packets sent (including queued-then-flushed).
     pub ipv4_sent: u64,
     /// IPv4 packets received and parsed.

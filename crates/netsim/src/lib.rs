@@ -43,6 +43,7 @@ mod device;
 mod error;
 mod frame;
 mod hub;
+mod impair;
 mod rng;
 mod sim;
 mod switch;
@@ -53,6 +54,7 @@ pub use device::{Device, DeviceCtx, DeviceId, PortId};
 pub use error::NetsimError;
 pub use frame::Frame;
 pub use hub::Hub;
+pub use impair::{FlapSchedule, LinkProfile};
 pub use rng::SimRng;
 pub use sim::{Simulator, WireStats};
 pub use switch::{

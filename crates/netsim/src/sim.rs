@@ -7,6 +7,7 @@ use std::time::Duration;
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
 use crate::error::NetsimError;
 use crate::frame::Frame;
+use crate::impair::{self, LinkProfile};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TracedFrame};
@@ -22,13 +23,30 @@ pub struct WireStats {
     pub dropped_no_link: u64,
     /// Timer events dispatched.
     pub timers: u64,
+    /// Frames dropped by impaired-link loss draws.
+    pub dropped_lost: u64,
+    /// Frames dropped because a flapping link was down.
+    pub dropped_link_down: u64,
+    /// Extra frame copies injected by duplication draws.
+    pub duplicated: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+/// Domain separation between the impairment hash and the event RNG, so
+/// `Simulator::new(seed)` feeds them unrelated key material.
+const IMPAIR_SEED_SALT: u64 = 0x1A7E_0F1C_5EED_11D0;
+
+#[derive(Debug, Clone)]
 struct Endpoint {
     peer: DeviceId,
     peer_port: PortId,
     latency: Duration,
+    /// Impairment profile for this direction of the link.
+    profile: LinkProfile,
+    /// Stable identity of this direction, for keyed impairment draws.
+    key: u64,
+    /// Frames sent into this direction so far — the per-event index the
+    /// impairment draws are keyed on.
+    sent: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -85,6 +103,8 @@ pub struct Simulator {
     links: HashMap<(DeviceId, PortId), Endpoint>,
     queue: BinaryHeap<Reverse<Event>>,
     rng: SimRng,
+    impair_seed: u64,
+    default_profile: LinkProfile,
     trace: Option<Trace>,
     stats: WireStats,
     /// Reusable actions buffer, drained after every dispatch. Devices
@@ -110,10 +130,25 @@ impl Simulator {
             links: HashMap::new(),
             queue: BinaryHeap::new(),
             rng: SimRng::new(seed),
+            impair_seed: seed ^ IMPAIR_SEED_SALT,
+            default_profile: LinkProfile::PERFECT,
             trace: None,
             stats: WireStats::default(),
             scratch: Vec::new(),
         }
+    }
+
+    /// Sets the impairment profile applied to every link connected from
+    /// now on. Links already connected keep the profile they were
+    /// created with; call before wiring the topology to impair a whole
+    /// segment.
+    pub fn set_default_impairment(&mut self, profile: LinkProfile) {
+        self.default_profile = profile;
+    }
+
+    /// The profile new links are connected with.
+    pub fn default_impairment(&self) -> LinkProfile {
+        self.default_profile
     }
 
     /// Attaches a device and returns its id.
@@ -139,6 +174,25 @@ impl Simulator {
         b_port: PortId,
         latency: Duration,
     ) -> Result<(), NetsimError> {
+        let profile = self.default_profile;
+        self.connect_impaired(a, a_port, b, b_port, latency, profile)
+    }
+
+    /// Like [`connect`](Simulator::connect), but with an explicit
+    /// impairment profile instead of the simulator default.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`connect`](Simulator::connect).
+    pub fn connect_impaired(
+        &mut self,
+        a: DeviceId,
+        a_port: PortId,
+        b: DeviceId,
+        b_port: PortId,
+        latency: Duration,
+        profile: LinkProfile,
+    ) -> Result<(), NetsimError> {
         if a == b {
             return Err(NetsimError::SelfLink(a));
         }
@@ -152,8 +206,18 @@ impl Simulator {
                 return Err(NetsimError::PortInUse { device: dev, port });
             }
         }
-        self.links.insert((a, a_port), Endpoint { peer: b, peer_port: b_port, latency });
-        self.links.insert((b, b_port), Endpoint { peer: a, peer_port: a_port, latency });
+        // Each direction gets a stable key derived from its sending
+        // endpoint — topology, not insertion order — so impairment draws
+        // survive any change in how links happen to be wired up.
+        let key = |dev: DeviceId, port: PortId| ((dev.0 as u64) << 16) | u64::from(port.0);
+        self.links.insert(
+            (a, a_port),
+            Endpoint { peer: b, peer_port: b_port, latency, profile, key: key(a, a_port), sent: 0 },
+        );
+        self.links.insert(
+            (b, b_port),
+            Endpoint { peer: a, peer_port: a_port, latency, profile, key: key(b, b_port), sent: 0 },
+        );
         Ok(())
     }
 
@@ -215,20 +279,65 @@ impl Simulator {
     fn apply_actions(&mut self, from: DeviceId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { port, bytes } => match self.links.get(&(from, port)).copied() {
+                Action::Send { port, bytes } => match self.links.get_mut(&(from, port)) {
                     Some(ep) => {
-                        let at = self.now + ep.latency;
+                        let (peer, peer_port, latency, profile, key) =
+                            (ep.peer, ep.peer_port, ep.latency, ep.profile, ep.key);
+                        let index = ep.sent;
+                        ep.sent += 1;
+                        if profile.is_perfect() {
+                            let at = self.now + latency;
+                            self.push_event(
+                                at,
+                                EventKind::Deliver {
+                                    dst: peer,
+                                    port: peer_port,
+                                    bytes,
+                                    src: from,
+                                    src_port: port,
+                                    sent_at: self.now,
+                                },
+                            );
+                            continue;
+                        }
+                        let fate = impair::fate(&profile, self.impair_seed, key, index, self.now);
+                        if fate.lost {
+                            if profile.flap.map(|f| f.is_down(self.now)).unwrap_or(false) {
+                                self.stats.dropped_link_down += 1;
+                            } else {
+                                self.stats.dropped_lost += 1;
+                            }
+                            continue;
+                        }
+                        let at = self.now + latency + fate.extra_delay;
+                        // The duplicate trails the original by one more
+                        // propagation delay, sharing its buffer.
+                        let dup = fate.duplicated.then(|| (at + latency, bytes.clone()));
                         self.push_event(
                             at,
                             EventKind::Deliver {
-                                dst: ep.peer,
-                                port: ep.peer_port,
+                                dst: peer,
+                                port: peer_port,
                                 bytes,
                                 src: from,
                                 src_port: port,
                                 sent_at: self.now,
                             },
                         );
+                        if let Some((dup_at, copy)) = dup {
+                            self.stats.duplicated += 1;
+                            self.push_event(
+                                dup_at,
+                                EventKind::Deliver {
+                                    dst: peer,
+                                    port: peer_port,
+                                    bytes: copy,
+                                    src: from,
+                                    src_port: port,
+                                    sent_at: self.now,
+                                },
+                            );
+                        }
                     }
                     None => self.stats.dropped_no_link += 1,
                 },
@@ -315,6 +424,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::impair::FlapSchedule;
 
     /// Echoes every received frame back out the same port after 1 ms, up to
     /// a bounce budget encoded in the first byte.
@@ -452,6 +562,103 @@ mod tests {
             (sim.wire_stats(), sim.now())
         };
         assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn lossy_link_drops_and_counts() {
+        let run = |loss: f64| {
+            let mut sim = Simulator::new(7);
+            sim.set_default_impairment(LinkProfile::lossy(loss));
+            let k = sim.add_device(Box::new(Kickoff { budget: 200 }));
+            let e = sim.add_device(Box::new(Echo::new()));
+            sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(1)).unwrap();
+            sim.run_until(SimTime::from_secs(1));
+            sim.wire_stats()
+        };
+        let perfect = run(0.0);
+        assert_eq!(perfect.dropped_lost, 0);
+        let lossy = run(0.5);
+        assert!(lossy.dropped_lost >= 1, "a 50% link must lose something");
+        // Each bounce needs the previous delivery, so losses shorten the
+        // chain: strictly fewer frames than the perfect wire.
+        assert!(lossy.frames < perfect.frames);
+    }
+
+    #[test]
+    fn duplicating_link_delivers_copies() {
+        let mut sim = Simulator::new(7);
+        sim.set_default_impairment(LinkProfile::PERFECT.with_dup(1.0));
+        let k = sim.add_device(Box::new(Kickoff { budget: 0 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(1)).unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.wire_stats().duplicated, 1);
+        assert_eq!(sim.wire_stats().frames, 2, "one send, two deliveries");
+    }
+
+    #[test]
+    fn flapping_link_goes_dark_on_schedule() {
+        let mut sim = Simulator::new(7);
+        sim.set_default_impairment(LinkProfile::PERFECT.with_flap(FlapSchedule {
+            offset: Duration::from_millis(50),
+            down_for: Duration::from_millis(1000),
+            period: Duration::from_millis(2000),
+        }));
+        let k = sim.add_device(Box::new(Kickoff { budget: 200 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(10)).unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        // The bounce chain dies at the first outage and nothing restarts it.
+        let stats = sim.wire_stats();
+        assert_eq!(stats.dropped_link_down, 1);
+        assert!(stats.frames <= 6, "chain must stop at the 50 ms outage");
+    }
+
+    #[test]
+    fn jitter_delays_but_never_reorders_a_single_flow_run() {
+        let mut sim = Simulator::new(7);
+        sim.set_default_impairment(LinkProfile::PERFECT.with_jitter(Duration::from_micros(500)));
+        let k = sim.add_device(Box::new(Kickoff { budget: 20 }));
+        let e = sim.add_device(Box::new(Echo::new()));
+        sim.connect(k, PortId(0), e, PortId(0), Duration::from_millis(1)).unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        // All 21 frames still get through; they just take longer.
+        assert_eq!(sim.wire_stats().frames, 21);
+        assert_eq!(sim.wire_stats().dropped_lost, 0);
+    }
+
+    /// The crux of the determinism contract: a profile whose draws can
+    /// never fire (loss 0, dup 0, jitter 0, flap that never goes down)
+    /// exercises the impaired delivery path yet must replay the exact
+    /// event schedule of an untouched wire.
+    #[test]
+    fn inert_profile_is_byte_identical_to_perfect_wire() {
+        let run = |profile: Option<LinkProfile>| {
+            let mut sim = Simulator::new(99);
+            if let Some(p) = profile {
+                sim.set_default_impairment(p);
+            }
+            let k = sim.add_device(Box::new(Kickoff { budget: 50 }));
+            let e = sim.add_device(Box::new(Echo::new()));
+            sim.connect(k, PortId(0), e, PortId(0), Duration::from_micros(137)).unwrap();
+            sim.enable_trace();
+            sim.run_until(SimTime::from_secs(1));
+            let schedule: Vec<(u64, usize)> = sim
+                .trace()
+                .unwrap()
+                .frames()
+                .iter()
+                .map(|f| (f.sent_at.as_nanos(), f.bytes.len()))
+                .collect();
+            (sim.wire_stats(), schedule)
+        };
+        let inert = LinkProfile::PERFECT.with_flap(FlapSchedule {
+            offset: Duration::from_secs(3600),
+            down_for: Duration::from_secs(1),
+            period: Duration::from_secs(7200),
+        });
+        assert!(!inert.is_perfect(), "must exercise the impaired path");
+        assert_eq!(run(None), run(Some(inert)));
     }
 
     #[test]

@@ -20,6 +20,11 @@ pub struct ActiveProbeConfig {
     pub probe_window: Duration,
     /// Re-verify a binding at most this often (limits wire overhead).
     pub reverify_cooldown: Duration,
+    /// Extra probes re-issued when a verification window closes with no
+    /// answer at all — a lost probe (or lost reply) otherwise turns into
+    /// a silently trusted claim. 0 reproduces the classic single-probe
+    /// behaviour.
+    pub probe_retries: u32,
 }
 
 impl ActiveProbeConfig {
@@ -29,7 +34,15 @@ impl ActiveProbeConfig {
             mac,
             probe_window: Duration::from_millis(300),
             reverify_cooldown: Duration::from_secs(5),
+            probe_retries: 0,
         }
+    }
+
+    /// Enables probe re-issue on silent verification windows (for lossy
+    /// links).
+    pub fn with_probe_retries(mut self, retries: u32) -> Self {
+        self.probe_retries = retries;
+        self
     }
 }
 
@@ -38,6 +51,8 @@ struct ProbeState {
     claimed: MacAddr,
     answers: HashSet<MacAddr>,
     previous: Option<MacAddr>,
+    /// Silent-window re-probes still allowed for this verification.
+    retries_left: u32,
 }
 
 /// A monitor that verifies ARP claims by asking the network.
@@ -106,7 +121,19 @@ impl ActiveProbeMonitor {
             }
         }
         let previous = self.db.get(&ip).copied();
-        self.pending.insert(ip, ProbeState { claimed, answers: HashSet::new(), previous });
+        self.pending.insert(
+            ip,
+            ProbeState {
+                claimed,
+                answers: HashSet::new(),
+                previous,
+                retries_left: self.config.probe_retries,
+            },
+        );
+        self.emit_probe(ctx, ip);
+    }
+
+    fn emit_probe(&mut self, ctx: &mut DeviceCtx<'_>, ip: Ipv4Addr) {
         let probe = ArpPacket::request(self.config.mac, Ipv4Addr::UNSPECIFIED, ip);
         let frame =
             EthernetFrame::new(MacAddr::BROADCAST, self.config.mac, EtherType::ARP, probe.encode());
@@ -199,6 +226,16 @@ impl Device for ActiveProbeMonitor {
 
     fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
         let ip = Ipv4Addr::from_u32(token as u32);
+        // A window that closed without a single answer may mean the
+        // probe (or every reply) was lost on an impaired link; burn a
+        // retry before concluding anything.
+        if let Some(state) = self.pending.get_mut(&ip) {
+            if state.answers.is_empty() && state.retries_left > 0 {
+                state.retries_left -= 1;
+                self.emit_probe(ctx, ip);
+                return;
+            }
+        }
         self.judge(ctx.now(), ip);
     }
 }
@@ -226,6 +263,7 @@ mod tests {
                 claimed: MacAddr::from_index(66),
                 answers: HashSet::from([MacAddr::from_index(1)]),
                 previous: None,
+                retries_left: 0,
             },
         );
         m.judge(SimTime::from_secs(1), IP);
@@ -242,6 +280,7 @@ mod tests {
                 claimed: MacAddr::from_index(1),
                 answers: HashSet::from([MacAddr::from_index(1)]),
                 previous: None,
+                retries_left: 0,
             },
         );
         m.judge(SimTime::from_secs(1), IP);
@@ -258,6 +297,7 @@ mod tests {
                 claimed: MacAddr::from_index(66),
                 answers: HashSet::from([MacAddr::from_index(1), MacAddr::from_index(66)]),
                 previous: Some(MacAddr::from_index(1)),
+                retries_left: 0,
             },
         );
         m.judge(SimTime::from_secs(1), IP);
@@ -269,7 +309,12 @@ mod tests {
         let (mut m, log) = prober();
         m.pending.insert(
             IP,
-            ProbeState { claimed: MacAddr::from_index(7), answers: HashSet::new(), previous: None },
+            ProbeState {
+                claimed: MacAddr::from_index(7),
+                answers: HashSet::new(),
+                previous: None,
+                retries_left: 0,
+            },
         );
         m.judge(SimTime::from_secs(1), IP);
         assert!(log.is_empty());

@@ -64,6 +64,14 @@ impl HostHook for AnticapHook {
 const SCHEME_ANTIDOTE: &str = "antidote";
 const PROBE_WINDOW: Duration = Duration::from_millis(300);
 
+#[derive(Debug)]
+struct Takeover {
+    challenger: MacAddr,
+    /// Incumbent probes still to re-issue before accepting the
+    /// challenger on silence.
+    retries_left: u32,
+}
+
 /// Antidote-style kernel patch: before letting a reply *replace* an
 /// existing binding, probe the previously known MAC. If the old station
 /// still answers, the replacement is rejected (and the new claimant
@@ -77,7 +85,11 @@ const PROBE_WINDOW: Duration = Duration::from_millis(300);
 pub struct AntidoteHook {
     log: AlertLog,
     /// Candidate rebinding per IP: the MAC that wants to take over.
-    pending: HashMap<Ipv4Addr, MacAddr>,
+    pending: HashMap<Ipv4Addr, Takeover>,
+    /// Extra incumbent probes per takeover attempt. 0 reproduces the
+    /// classic single-probe patch; lossy links want more, since a lost
+    /// probe otherwise hands the binding to the challenger.
+    probe_retries: u32,
     /// Rebinding attempts rejected because the old MAC was alive.
     pub rejections: u64,
 }
@@ -85,7 +97,14 @@ pub struct AntidoteHook {
 impl AntidoteHook {
     /// Creates the hook, reporting rejections into `log`.
     pub fn new(log: AlertLog) -> Self {
-        AntidoteHook { log, pending: HashMap::new(), rejections: 0 }
+        AntidoteHook { log, pending: HashMap::new(), probe_retries: 0, rejections: 0 }
+    }
+
+    /// Enables incumbent-probe re-issue on silent windows (for lossy
+    /// links).
+    pub fn with_probe_retries(mut self, retries: u32) -> Self {
+        self.probe_retries = retries;
+        self
     }
 }
 
@@ -111,14 +130,14 @@ impl HostHook for AntidoteHook {
         if arp.sender_mac == old_mac {
             // The incumbent speaks. If a takeover probe was in flight,
             // the old station is alive — reject the challenger.
-            if let Some(challenger) = self.pending.remove(&arp.sender_ip) {
+            if let Some(takeover) = self.pending.remove(&arp.sender_ip) {
                 self.rejections += 1;
                 self.log.raise(Alert {
                     at: api.now(),
                     scheme: SCHEME_ANTIDOTE,
                     kind: AlertKind::ReplaceRejected,
                     subject_ip: Some(arp.sender_ip),
-                    observed_mac: Some(challenger),
+                    observed_mac: Some(takeover.challenger),
                     expected_mac: Some(old_mac),
                 });
             }
@@ -128,7 +147,10 @@ impl HostHook for AntidoteHook {
         if self.pending.contains_key(&arp.sender_ip) {
             return ArpVerdict::Drop; // probe already in flight; hold the line
         }
-        self.pending.insert(arp.sender_ip, arp.sender_mac);
+        self.pending.insert(
+            arp.sender_ip,
+            Takeover { challenger: arp.sender_mac, retries_left: self.probe_retries },
+        );
         api.add_work(work::PROBE);
         api.send_arp_probe(arp.sender_ip);
         api.schedule(PROBE_WINDOW, arp.sender_ip.to_u32());
@@ -137,10 +159,21 @@ impl HostHook for AntidoteHook {
 
     fn on_timer(&mut self, api: &mut HostApi<'_, '_>, payload: u32) {
         let ip = Ipv4Addr::from_u32(payload);
-        if let Some(challenger) = self.pending.remove(&ip) {
-            // The incumbent stayed silent through the window: accept the
-            // new binding (station genuinely moved / NIC replaced).
-            api.install_verified_binding(ip, challenger);
+        // Silence may be a lost probe rather than a dead incumbent:
+        // re-probe while retries remain before conceding the binding.
+        if let Some(takeover) = self.pending.get_mut(&ip) {
+            if takeover.retries_left > 0 {
+                takeover.retries_left -= 1;
+                api.add_work(work::PROBE);
+                api.send_arp_probe(ip);
+                api.schedule(PROBE_WINDOW, payload);
+                return;
+            }
+        }
+        if let Some(takeover) = self.pending.remove(&ip) {
+            // The incumbent stayed silent through every window: accept
+            // the new binding (station genuinely moved / NIC replaced).
+            api.install_verified_binding(ip, takeover.challenger);
         }
     }
 }

@@ -28,6 +28,7 @@ mod alert;
 mod antidote;
 pub mod dai;
 mod descriptor;
+mod factory;
 mod passive;
 mod rate;
 pub mod sarp;
@@ -40,6 +41,9 @@ pub use alert::{Alert, AlertKind, AlertLog};
 pub use antidote::{AnticapHook, AntidoteHook};
 pub use dai::{DaiConfig, DaiInspector};
 pub use descriptor::{Activity, DeployCost, Mode, SchemeClass, SchemeDescriptor, SchemeKind};
+pub use factory::{
+    AuxStation, HostAgentFn, LanPlan, SchemeHardening, SchemeInstallation, SchemeResources,
+};
 pub use passive::{PassiveConfig, PassiveMonitor};
 pub use rate::{RateConfig, RateMonitor};
 pub use sarp::{AkdApp, SArpConfig, SArpHook};

@@ -75,6 +75,21 @@ pub struct SArpConfig {
     /// the right order of magnitude for era-appropriate DSA on
     /// commodity hosts.
     pub unit_cost: Duration,
+    /// AKD lookups re-issued when a key fetch goes unanswered — a lost
+    /// datagram otherwise parks the claims behind it forever. 0 (the
+    /// default on perfect wires) disables the retry timer entirely.
+    pub key_fetch_retries: u32,
+    /// How long to wait for an AKD response before re-requesting.
+    pub key_fetch_timeout: Duration,
+}
+
+impl SArpConfig {
+    /// Enables AKD key-fetch retries (for lossy links).
+    pub fn with_key_fetch_retries(mut self, retries: u32, timeout: Duration) -> Self {
+        self.key_fetch_retries = retries;
+        self.key_fetch_timeout = timeout;
+        self
+    }
 }
 
 /// Default simulated CPU cost of one work unit.
@@ -88,6 +103,8 @@ pub struct SArpHook {
     key_cache: HashMap<Ipv4Addr, PublicKey>,
     /// Signed claims parked while their key is fetched.
     pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
+    /// Key-fetch retries still available per outstanding lookup.
+    key_retries: HashMap<Ipv4Addr, u32>,
     /// Signed replies waiting out their signing delay.
     outbox: std::collections::VecDeque<EthernetFrame>,
     /// Verified bindings waiting out their verification delay.
@@ -102,6 +119,9 @@ pub struct SArpHook {
     pub legacy_dropped: u64,
     /// AKD round trips initiated.
     pub key_fetches: u64,
+    /// Key fetches abandoned after every retry went unanswered (their
+    /// parked claims were dropped).
+    pub key_fetch_timeouts: u64,
 }
 
 impl SArpHook {
@@ -112,6 +132,7 @@ impl SArpHook {
             log,
             key_cache: HashMap::new(),
             pending: HashMap::new(),
+            key_retries: HashMap::new(),
             outbox: std::collections::VecDeque::new(),
             verify_queue: std::collections::VecDeque::new(),
             signed_replies_sent: 0,
@@ -119,6 +140,7 @@ impl SArpHook {
             rejected: 0,
             legacy_dropped: 0,
             key_fetches: 0,
+            key_fetch_timeouts: 0,
         }
     }
 
@@ -227,6 +249,13 @@ impl SArpHook {
                     queue.push(payload);
                 }
                 self.request_key(api, arp.sender_ip);
+                // Arm the loss-recovery timer once per outstanding fetch.
+                if self.config.key_fetch_retries > 0
+                    && !self.key_retries.contains_key(&arp.sender_ip)
+                {
+                    self.key_retries.insert(arp.sender_ip, self.config.key_fetch_retries);
+                    api.schedule(self.config.key_fetch_timeout, arp.sender_ip.to_u32());
+                }
             }
         }
     }
@@ -251,6 +280,7 @@ impl SArpHook {
                     return;
                 };
                 self.key_cache.insert(ip, key);
+                self.key_retries.remove(&ip);
                 if let Some(claims) = self.pending.remove(&ip) {
                     for claim in claims {
                         self.verify_claim(api, key, &claim);
@@ -260,6 +290,7 @@ impl SArpHook {
             MSG_UNKNOWN if data.len() >= 5 => {
                 let ip = Ipv4Addr::new(data[1], data[2], data[3], data[4]);
                 // Unenrolled principal: drop any parked claims for it.
+                self.key_retries.remove(&ip);
                 if self.pending.remove(&ip).is_some() {
                     self.rejected += 1;
                 }
@@ -318,7 +349,32 @@ impl HostHook for SArpHook {
                 }
             }
             TIMER_FINISH_VERIFY => self.finish_verify(api),
-            _ => {}
+            // Any other payload is an IPv4 address whose key fetch timed
+            // out (the address space cannot collide with the two small
+            // timer ids on real subnets; a stale timer for a completed
+            // fetch simply finds nothing outstanding and is ignored).
+            ip_raw => {
+                let ip = Ipv4Addr::from_u32(ip_raw);
+                if !self.pending.contains_key(&ip) {
+                    self.key_retries.remove(&ip);
+                    return;
+                }
+                match self.key_retries.get_mut(&ip) {
+                    Some(left) if *left > 0 => {
+                        *left -= 1;
+                        self.request_key(api, ip);
+                        api.schedule(self.config.key_fetch_timeout, ip_raw);
+                    }
+                    Some(_) => {
+                        // Out of retries: give up on the fetch and the
+                        // claims parked behind it.
+                        self.key_retries.remove(&ip);
+                        self.pending.remove(&ip);
+                        self.key_fetch_timeouts += 1;
+                    }
+                    None => {}
+                }
+            }
         }
     }
 

@@ -123,6 +123,8 @@ fn sarp_host(
             max_age: Duration::from_secs(5),
             local_akd: local.then(|| Rc::clone(registry)),
             unit_cost: sarp::DEFAULT_UNIT_COST,
+            key_fetch_retries: 0,
+            key_fetch_timeout: std::time::Duration::from_millis(200),
         },
         alerts.clone(),
     )));
@@ -270,4 +272,119 @@ fn tarp_stale_ticket_replays_successfully_until_expiry() {
     );
     assert!(alerts.alerts().iter().any(|a| a.kind == AlertKind::SignatureInvalid));
     let _ = tarp::TICKET_LEN;
+}
+
+/// A lost AKD datagram must not strand resolution forever: with
+/// key-fetch retries armed, the hook re-requests the key until the AKD
+/// link returns; without them, the parked claims wait for a signed
+/// reply that (with a single-shot resolver) never comes again.
+#[test]
+fn sarp_key_fetch_retries_recover_from_akd_outage() {
+    use arpshield_host::RetryPolicy;
+    use arpshield_netsim::{FlapSchedule, LinkProfile};
+
+    /// Sends a single UDP datagram shortly after start — one resolution
+    /// attempt, so recovery can only come from the scheme's own retries.
+    struct OneShot;
+    impl arpshield_host::apps::App for OneShot {
+        fn name(&self) -> &str {
+            "oneshot"
+        }
+        fn on_start(&mut self, api: &mut arpshield_host::HostApi<'_, '_>) {
+            api.schedule(Duration::from_millis(100), 0);
+        }
+        fn on_timer(&mut self, api: &mut arpshield_host::HostApi<'_, '_>, _payload: u32) {
+            api.send_udp(ip(1), 4000, 4001, vec![0xAB]);
+        }
+    }
+
+    let run = |key_fetch_retries: u32| -> (HostHandle, SimTime, Net) {
+        let mut net = Net::new(33);
+        let alerts = AlertLog::new();
+        let registry = Rc::new(RefCell::new(Akd::new()));
+        let akd_keypair = KeyPair::from_seed(9000);
+        for n in [9u8, 1, 2] {
+            registry.borrow_mut().register(
+                u32::from(ip(n).to_u32()),
+                KeyPair::from_seed(u64::from(ip(n).to_u32())).public_key(),
+            );
+        }
+        let sarp_config = |host_ip: Ipv4Addr, local: bool| SArpConfig {
+            keypair: KeyPair::from_seed(u64::from(host_ip.to_u32())),
+            akd_ip: ip(9),
+            akd_mac: mac(109),
+            akd_key: akd_keypair.public_key(),
+            max_age: Duration::from_secs(5),
+            local_akd: local.then(|| Rc::clone(&registry)),
+            unit_cost: sarp::DEFAULT_UNIT_COST,
+            key_fetch_retries,
+            key_fetch_timeout: Duration::from_millis(200),
+        };
+
+        // The AKD's link is dark for the first second, then stays up.
+        let (mut akd, _) = Host::new(
+            HostConfig::static_ip("akd", mac(109), ip(9), cidr())
+                .with_policy(ArpPolicy::StaticOnly),
+        );
+        akd.add_hook(Box::new(SArpHook::new(sarp_config(ip(9), true), alerts.clone())));
+        akd.add_app(Box::new(arpshield_schemes::AkdApp::new(
+            Rc::clone(&registry),
+            akd_keypair.clone(),
+            alerts.clone(),
+        )));
+        let akd_id = net.sim.add_device(Box::new(akd));
+        let port = net.next_port;
+        net.next_port += 1;
+        net.sim
+            .connect_impaired(
+                akd_id,
+                PortId(0),
+                net.switch,
+                PortId(port),
+                Duration::from_micros(5),
+                LinkProfile::default().with_flap(FlapSchedule {
+                    offset: Duration::ZERO,
+                    down_for: Duration::from_secs(1),
+                    period: Duration::from_secs(3600),
+                }),
+            )
+            .unwrap();
+
+        let (mut gw, _) = Host::new(
+            HostConfig::static_ip("gw", mac(100), ip(1), cidr()).with_policy(ArpPolicy::StaticOnly),
+        );
+        gw.add_hook(Box::new(SArpHook::new(sarp_config(ip(1), false), alerts.clone())));
+        net.attach(Box::new(gw));
+
+        // Single-shot resolver: one ARP request, no retransmissions, so
+        // the only signed reply (and hence the only chance to fetch the
+        // gateway's key) lands inside the outage window.
+        let (mut victim, handle) = Host::new(
+            HostConfig::static_ip("victim", mac(2), ip(2), cidr())
+                .with_policy(ArpPolicy::StaticOnly)
+                .with_resolver_retry(RetryPolicy::fixed(Duration::from_secs(1), 0)),
+        );
+        victim.add_hook(Box::new(SArpHook::new(sarp_config(ip(2), false), alerts.clone())));
+        victim.add_app(Box::new(OneShot));
+        net.attach(Box::new(victim));
+
+        net.sim.run_until(SimTime::from_secs(12));
+        let now = net.sim.now();
+        (handle, now, net)
+    };
+
+    let (stranded, now, _net) = run(0);
+    assert_eq!(
+        stranded.cache.borrow().lookup(now, ip(1)),
+        None,
+        "without retries the lost key fetch strands the claim"
+    );
+
+    let (recovered, now, _net) = run(10);
+    assert_eq!(
+        recovered.cache.borrow().lookup(now, ip(1)),
+        Some(mac(100)),
+        "retried key fetch must verify the parked claim after the outage"
+    );
+    assert!(recovered.stats.borrow().ipv4_sent > 0);
 }

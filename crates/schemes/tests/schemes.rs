@@ -325,6 +325,8 @@ fn sarp_prevents_poisoning_and_resolves_signed() {
         max_age: Duration::from_secs(5),
         local_akd: local.then(|| Rc::clone(&akd_registry)),
         unit_cost: arpshield_schemes::sarp::DEFAULT_UNIT_COST,
+        key_fetch_retries: 0,
+        key_fetch_timeout: std::time::Duration::from_millis(200),
     };
 
     // The AKD host.

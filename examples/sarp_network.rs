@@ -59,6 +59,8 @@ fn main() {
                 max_age: Duration::from_secs(5),
                 local_akd: (*name == "akd").then(|| Rc::clone(&registry)),
                 unit_cost: arpshield::schemes::sarp::DEFAULT_UNIT_COST,
+                key_fetch_retries: 0,
+                key_fetch_timeout: std::time::Duration::from_millis(200),
             },
             alerts.clone(),
         )));

@@ -4,9 +4,9 @@
 #
 #   scripts/ci.sh
 #
-# Steps: rustfmt check, release build, full test suite, and a
-# one-iteration smoke run of every bench (which also exercises the
-# results/bench/*.json emission path).
+# Steps: rustfmt check, release build, full test suite, a smoke run of
+# the t5r loss-resilience sweep, and a one-iteration smoke run of every
+# bench (which also exercises the results/bench/*.json emission path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +22,12 @@ cargo build --release --offline
 
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
+
+echo "==> reproduce t5r smoke (loss-resilience sweep)"
+t5r_out="$(mktemp -d)"
+./target/release/reproduce t5r --out "$t5r_out" >/dev/null
+test -s "$t5r_out/t5r.csv"
+rm -rf "$t5r_out"
 
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline

@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use arpshield::analysis::experiment::{
-    f1_detection_latency, t2_susceptibility, t3_coverage, t4_false_positives,
+    f1_detection_latency, t2_susceptibility, t3_coverage, t4_false_positives, t5_resilience,
 };
 use arpshield::analysis::metrics::score_attack_run;
 use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
@@ -75,4 +75,19 @@ fn parallel_runner_matches_sequential_byte_for_byte() {
     let parallel = grid("4");
     assert_eq!(sequential.0, parallel.0, "T3 grid must not depend on the worker count");
     assert_eq!(sequential.1, parallel.1, "F1 sweep must not depend on the worker count");
+}
+
+/// The impairment sweep draws every loss decision from per-event keyed
+/// hashes, never from a shared RNG stream, so its output is
+/// byte-identical whether the (scheme × loss) cells run on one worker
+/// or four.
+#[test]
+fn resilience_sweep_is_thread_count_independent() {
+    let run = |threads: &str| {
+        std::env::set_var("ARPSHIELD_THREADS", threads);
+        let csv = t5_resilience(13).to_csv();
+        std::env::remove_var("ARPSHIELD_THREADS");
+        csv
+    };
+    assert_eq!(run("1"), run("4"), "T5R must not depend on the worker count");
 }
