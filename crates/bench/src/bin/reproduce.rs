@@ -1,13 +1,22 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! reproduce            # run everything
-//! reproduce t3 f1      # run a subset by id
-//! reproduce --out DIR  # also write CSVs (default: results/)
+//! reproduce                  # run everything
+//! reproduce t3 f1            # run a subset by id
+//! reproduce --out DIR        # also write CSVs (default: results/)
+//! reproduce --trace t2       # additionally write results/trace/t2.{json,csv}
+//! reproduce validate-trace F # check a trace manifest and exit
 //! ```
+//!
+//! `--trace` installs a per-experiment trace collector around each
+//! experiment, so every simulated run flushes its sim-time-stamped
+//! counters, histograms, and events into one manifest per experiment
+//! id under `<out>/trace/`. The experiment CSVs themselves are
+//! byte-identical with and without the flag.
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use arpshield_core::experiment::{
@@ -16,15 +25,44 @@ use arpshield_core::experiment::{
     t5_cost, t5_resilience, t6_dos_coverage,
 };
 use arpshield_core::{taxonomy, Series, Table};
+use arpshield_trace::TraceCollector;
 
 const SEED: u64 = 20070625; // the venue's year, as a nod
 
 struct Output {
     out_dir: PathBuf,
+    trace: bool,
 }
 
 impl Output {
-    fn table(&self, id: &str, table: &Table) {
+    /// Runs one experiment, optionally under a fresh trace collector
+    /// whose manifest lands in `<out>/trace/<id>.{json,csv}`.
+    fn traced<T>(&self, id: &str, f: impl FnOnce() -> T) -> T {
+        if !self.trace {
+            return f();
+        }
+        let collector = Arc::new(TraceCollector::new());
+        let result = {
+            let _guard = arpshield_trace::install(collector.clone());
+            f()
+        };
+        let manifest = collector.manifest(id);
+        let dir = self.out_dir.join("trace");
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: could not create {}: {e}", dir.display());
+            return result;
+        }
+        for (ext, body) in [("json", manifest.to_json()), ("csv", manifest.to_counters_csv())] {
+            let path = dir.join(format!("{id}.{ext}"));
+            if let Err(e) = fs::write(&path, body) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        result
+    }
+
+    fn table(&self, id: &str, make: impl FnOnce() -> Table) {
+        let table = self.traced(id, make);
         println!("{}", table.render());
         let path = self.out_dir.join(format!("{id}.csv"));
         if let Err(e) = fs::write(&path, table.to_csv()) {
@@ -32,7 +70,8 @@ impl Output {
         }
     }
 
-    fn series(&self, id: &str, series: &[Series]) {
+    fn series(&self, id: &str, make: impl FnOnce() -> Vec<Series>) {
+        let series = self.traced(id, make);
         for (i, s) in series.iter().enumerate() {
             println!("{}", s.render());
             let path = self.out_dir.join(format!("{id}_{i}.csv"));
@@ -43,8 +82,72 @@ impl Output {
     }
 }
 
+/// Checks that `path` holds a well-formed `arpshield-trace/1` manifest.
+///
+/// Returns a human-readable error naming the first violated invariant.
+fn validate_trace_manifest(path: &str) -> Result<String, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = arpshield_testkit::json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field `schema`".to_string())?;
+    if schema != "arpshield-trace/1" {
+        return Err(format!("unknown schema {schema:?}"));
+    }
+    doc.get("experiment")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field `experiment`".to_string())?;
+    let unit = doc
+        .get("time_unit")
+        .and_then(|v| v.as_str())
+        .ok_or("missing string field `time_unit`".to_string())?;
+    if unit != "ns" {
+        return Err(format!("unexpected time_unit {unit:?}"));
+    }
+    doc.get("totals").ok_or("missing field `totals`".to_string())?;
+    doc.get("warnings")
+        .and_then(|v| v.as_arr())
+        .ok_or("missing array field `warnings`".to_string())?;
+    let runs =
+        doc.get("runs").and_then(|v| v.as_arr()).ok_or("missing array field `runs`".to_string())?;
+    for (i, run) in runs.iter().enumerate() {
+        run.get("label")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("run {i}: missing string field `label`"))?;
+        run.get("counters").ok_or(format!("run {i}: missing field `counters`"))?;
+        let events = run
+            .get("events")
+            .and_then(|v| v.as_arr())
+            .ok_or(format!("run {i}: missing array field `events`"))?;
+        for (j, event) in events.iter().enumerate() {
+            event
+                .get("at_ns")
+                .and_then(|v| v.as_num())
+                .ok_or(format!("run {i} event {j}: missing numeric field `at_ns`"))?;
+        }
+    }
+    Ok(format!("{path}: valid arpshield-trace/1 manifest with {} run(s)", runs.len()))
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("validate-trace") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: reproduce validate-trace FILE");
+            std::process::exit(2);
+        };
+        match validate_trace_manifest(path) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let mut out_dir = PathBuf::from("results");
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         args.remove(pos);
@@ -52,8 +155,13 @@ fn main() {
             out_dir = PathBuf::from(args.remove(pos));
         }
     }
+    let mut trace = false;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        args.remove(pos);
+        trace = true;
+    }
     fs::create_dir_all(&out_dir).ok();
-    let out = Output { out_dir };
+    let out = Output { out_dir, trace };
     let selected: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
@@ -68,44 +176,44 @@ fn main() {
     let started = Instant::now();
 
     if want("t1") {
-        out.table("t1", &taxonomy::table());
+        out.table("t1", || taxonomy::table());
     }
     if want("t2") {
-        out.table("t2", &t2_susceptibility(SEED));
+        out.table("t2", || t2_susceptibility(SEED));
     }
     if want("t3") {
-        out.table("t3", &t3_coverage(SEED));
+        out.table("t3", || t3_coverage(SEED));
     }
     if want("t4") {
-        out.table("t4", &t4_false_positives(SEED));
+        out.table("t4", || t4_false_positives(SEED));
     }
     if want("t5") {
-        out.table("t5", &t5_cost(SEED));
+        out.table("t5", || t5_cost(SEED));
     }
     if want("t5r") {
-        out.table("t5r", &t5_resilience(SEED));
+        out.table("t5r", || t5_resilience(SEED));
     }
     if want("t6") {
-        out.table("t6", &t6_dos_coverage(SEED));
+        out.table("t6", || t6_dos_coverage(SEED));
     }
     if want("f1") {
-        out.series("f1", &f1_detection_latency(SEED, 30));
+        out.series("f1", || f1_detection_latency(SEED, 30));
     }
     if want("f2") {
-        out.series("f2", &f2_overhead(SEED, &[5, 10, 20, 40, 80]));
+        out.series("f2", || f2_overhead(SEED, &[5, 10, 20, 40, 80]));
     }
     if want("f3") {
-        out.table("f3", &f3_resolution_latency(SEED));
+        out.table("f3", || f3_resolution_latency(SEED));
     }
     if want("f4") {
-        out.table("f4", &f4_poisoned_time(SEED));
+        out.table("f4", || f4_poisoned_time(SEED));
     }
     if want("f5") {
-        out.series("f5", &f5_passive_scale(SEED, &[5, 10, 20, 40, 80]));
+        out.series("f5", || f5_passive_scale(SEED, &[5, 10, 20, 40, 80]));
     }
     if want("f6") {
-        out.series("f6a", &f6_flood_dynamics(SEED));
-        out.series("f6b", &[f6_starvation_dynamics(SEED)]);
+        out.series("f6a", || f6_flood_dynamics(SEED));
+        out.series("f6b", || vec![f6_starvation_dynamics(SEED)]);
     }
 
     println!("done in {:.1}s", started.elapsed().as_secs_f64());

@@ -23,6 +23,10 @@ use std::sync::Mutex;
 /// Worker threads [`run_indexed`] will use: the `ARPSHIELD_THREADS`
 /// override when set to a positive integer, otherwise the machine's
 /// available parallelism.
+///
+/// An invalid override is reported through the installed trace
+/// collector (it lands in the run manifest's `warnings`) when one is
+/// active, and on stderr otherwise.
 pub fn thread_count() -> usize {
     if let Ok(value) = std::env::var("ARPSHIELD_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
@@ -30,7 +34,11 @@ pub fn thread_count() -> usize {
                 return n;
             }
         }
-        eprintln!("warning: ignoring invalid ARPSHIELD_THREADS={value:?}");
+        let warning = format!("ignoring invalid ARPSHIELD_THREADS={value:?}");
+        match arpshield_trace::current() {
+            Some(collector) => collector.warn(warning),
+            None => eprintln!("warning: {warning}"),
+        }
     }
     std::thread::available_parallelism().map(usize::from).unwrap_or(1)
 }
@@ -61,20 +69,28 @@ where
     if threads <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
+    // Tracing is thread-local: capture the submitting thread's collector
+    // and re-install it inside every worker, so runs traced under a
+    // `reproduce --trace` experiment keep flushing to that experiment's
+    // manifest no matter which worker executes them.
+    let collector = arpshield_trace::current();
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
         slots.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= slots.len() {
-                    break;
+            scope.spawn(|| {
+                let _guard = collector.clone().map(arpshield_trace::install);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let job = slots[i].lock().unwrap().take().expect("each index claimed once");
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    *results[i].lock().unwrap() = Some(result);
                 }
-                let job = slots[i].lock().unwrap().take().expect("each index claimed once");
-                let result = catch_unwind(AssertUnwindSafe(job));
-                *results[i].lock().unwrap() = Some(result);
             });
         }
     });

@@ -3,5 +3,6 @@
 mod series;
 mod table;
 
+pub use arpshield_trace::csv_escape;
 pub use series::Series;
 pub use table::Table;

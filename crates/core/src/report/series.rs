@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use arpshield_trace::csv_escape;
+
 /// One named data series of `(x, y)` points, the unit figures are built
 /// from.
 ///
@@ -91,11 +93,17 @@ impl Series {
         out
     }
 
-    /// Renders as CSV with the axis labels as header.
+    /// Renders as CSV with the axis labels as header. All fields go
+    /// through the workspace-wide [`csv_escape`], so labels containing
+    /// commas, quotes, or newlines survive a round-trip.
     pub fn to_csv(&self) -> String {
-        let mut out = format!("{},{}\n", self.x_label, self.y_label);
+        let mut out = format!("{},{}\n", csv_escape(&self.x_label), csv_escape(&self.y_label));
         for (x, y) in &self.points {
-            out.push_str(&format!("{x},{y}\n"));
+            out.push_str(&format!(
+                "{},{}\n",
+                csv_escape(&x.to_string()),
+                csv_escape(&y.to_string())
+            ));
         }
         out
     }
@@ -157,6 +165,13 @@ mod tests {
         s.push(10.0, 123.0);
         let csv = s.to_csv();
         assert_eq!(csv, "hosts,bytes\n10,123\n");
+    }
+
+    #[test]
+    fn csv_escapes_labels_including_newlines() {
+        let mut s = Series::new("demo", "hosts, active", "bytes\nper-run");
+        s.push(10.0, 123.0);
+        assert_eq!(s.to_csv(), "\"hosts, active\",\"bytes\nper-run\"\n10,123\n");
     }
 
     #[test]

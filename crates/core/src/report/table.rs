@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use arpshield_trace::csv_escape;
+
 /// A rectangular result table with a title and column headers.
 ///
 /// ```rust
@@ -107,20 +109,15 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (header + rows), quoting cells containing commas.
+    /// Renders as CSV (header + rows). Cells go through the
+    /// workspace-wide [`csv_escape`], which quotes commas, quotes, and
+    /// embedded newlines.
     pub fn to_csv(&self) -> String {
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(&self.headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push_str(&row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -167,6 +164,13 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.starts_with("k,v\n"));
+    }
+
+    #[test]
+    fn csv_escapes_embedded_newlines() {
+        let mut t = Table::new("demo", &["k", "v"]);
+        t.row(["multi\nline", "ok"]);
+        assert!(t.to_csv().contains("\"multi\nline\",ok"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use arpshield_packet::{Ipv4Addr, Ipv4Cidr, MacAddr};
 use arpshield_schemes::{
     static_arp, AlertLog, LanPlan, SchemeHardening, SchemeKind, SchemeResources,
 };
+use arpshield_trace::Tracer;
 
 /// Addressing constants of the standard LAN.
 pub mod addr {
@@ -186,6 +187,9 @@ pub struct BuiltLan {
     pub truth: GroundTruth,
     /// The monitor fan-out hub (present for monitor-based schemes).
     pub monitor_hub: Option<DeviceId>,
+    /// The run's tracer (disabled unless a trace collector is
+    /// installed); scenario wrappers annotate it with their labels.
+    pub tracer: Tracer,
     next_free_port: u16,
     next_hub_port: u16,
     config: ScenarioConfig,
@@ -267,7 +271,20 @@ impl BuiltLan {
 /// [`SchemeInstallation`](arpshield_schemes::SchemeInstallation)
 /// declares, with no per-scheme branches.
 pub fn build(config: ScenarioConfig) -> BuiltLan {
+    // One recorder per run, labelled with the full parameter tuple so
+    // cells that share a seed across policies/schemes stay distinct in
+    // the manifest. Disabled (and allocation-free from here on) unless
+    // the caller installed a trace collector.
+    let tracer = Tracer::for_current_run(format!(
+        "scheme={} policy={:?} hosts={} seed={} duration_ms={}",
+        config.scheme,
+        config.policy,
+        config.n_hosts,
+        config.seed,
+        config.duration.as_millis()
+    ));
     let alerts = AlertLog::new();
+    alerts.set_tracer(tracer.clone());
     let truth = GroundTruth::new();
 
     // --- Scheme instantiation ---
@@ -306,7 +323,9 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     };
     let mut sim = Simulator::new(config.seed);
     sim.set_default_impairment(config.impairment);
+    sim.set_tracer(tracer.clone());
     let (mut switch, switch_handle) = Switch::new("sw", switch_config);
+    switch.set_tracer(tracer.clone());
     if let Some(inspector) = installation.inspector {
         switch.set_inspector(inspector);
     }
@@ -329,6 +348,7 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     // --- Gateway (port 0) ---
     let (mut gateway, gateway_handle) =
         Host::new(host_config("gw".into(), addr::gateway_mac(), addr::GATEWAY_IP));
+    gateway.set_tracer(tracer.clone());
     add_agent(&mut gateway, addr::GATEWAY_IP, addr::gateway_mac());
     let gw_id = sim.add_device(Box::new(gateway));
     sim.connect(gw_id, PortId(0), switch_id, PortId(0), Duration::from_micros(5)).unwrap();
@@ -339,6 +359,7 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     for i in 0..config.n_hosts {
         let ip = addr::host_ip(i);
         let (mut host, handle) = Host::new(host_config(format!("h{i}"), addr::host_mac(i), ip));
+        host.set_tracer(tracer.clone());
         add_agent(&mut host, ip, addr::host_mac(i));
         let (ping, ping_stats) = PingApp::new(addr::GATEWAY_IP, config.ping_interval);
         host.add_app(Box::new(ping));
@@ -358,6 +379,7 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
                 .with_arp_timeout(config.arp_timeout)
                 .with_resolver_retry(config.resolver_retry),
         );
+        aux_host.set_tracer(tracer.clone());
         for hook in aux.hooks {
             aux_host.add_hook(hook);
         }
@@ -405,6 +427,7 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
         alerts,
         truth,
         monitor_hub,
+        tracer,
         next_free_port,
         next_hub_port,
         config,

@@ -9,6 +9,7 @@ use arpshield_packet::{
     ArpOp, ArpPacket, EtherType, EthernetFrame, IcmpMessage, IcmpType, IpProtocol, Ipv4Addr,
     Ipv4Cidr, Ipv4Packet, MacAddr, UdpDatagram,
 };
+use arpshield_trace::Tracer;
 
 use crate::apps::App;
 use crate::arp::{
@@ -192,6 +193,7 @@ pub struct HostCore {
     pub(crate) stats: Rc<RefCell<HostStats>>,
     pub(crate) respond_to_ping: bool,
     pub(crate) announce_gratuitous: bool,
+    pub(crate) tracer: Tracer,
 }
 
 impl HostCore {
@@ -317,6 +319,10 @@ impl HostCore {
                 stats.resolutions_completed += 1;
                 stats.resolution_latency_total += ctx.now().saturating_since(first_requested);
             }
+            self.tracer.observe(
+                "host.resolution_latency_ns",
+                ctx.now().saturating_since(first_requested).as_nanos() as u64,
+            );
             for p in packets {
                 self.transmit_ipv4(ctx, mac, p.dst_ip, p.protocol, p.payload);
             }
@@ -425,6 +431,7 @@ impl Host {
                     stats,
                     respond_to_ping: config.respond_to_ping,
                     announce_gratuitous: config.announce_gratuitous,
+                    tracer: Tracer::disabled(),
                 },
                 hooks: Vec::new(),
                 apps: Vec::new(),
@@ -444,6 +451,12 @@ impl Host {
     /// order.
     pub fn add_hook(&mut self, hook: Box<dyn HostHook>) {
         self.hooks.push(hook);
+    }
+
+    /// Routes this host's resolver and ARP-cache transitions into
+    /// `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.tracer = tracer;
     }
 
     /// The host's ARP policy.
@@ -507,8 +520,27 @@ impl Host {
         };
         if learned {
             core.stats.borrow_mut().cache_writes += 1;
+            let category =
+                if admit_ctx.have_entry { "host.cache.update" } else { "host.cache.create" };
+            core.tracer.count(category, 1);
+            core.tracer.event(ctx.now().as_nanos(), category, || {
+                (
+                    core.name.clone(),
+                    format!("ip={} mac={} origin={:?}", arp.sender_ip, arp.sender_mac, origin),
+                )
+            });
         } else if is_reply || addressed_to_us {
             core.stats.borrow_mut().policy_rejections += 1;
+            core.tracer.count("host.policy.reject", 1);
+            core.tracer.event(ctx.now().as_nanos(), "host.policy.reject", || {
+                (
+                    core.name.clone(),
+                    format!(
+                        "ip={} mac={} origin={:?} policy={:?}",
+                        arp.sender_ip, arp.sender_mac, origin, core.policy
+                    ),
+                )
+            });
         }
         if admit_ctx.outstanding_request && learned {
             core.flush_pending(ctx, arp.sender_ip, arp.sender_mac);
@@ -639,6 +671,13 @@ impl Device for Host {
                 match core.resolver.tick_retry(ip) {
                     Some(RetryTick::Retransmit { next_delay }) => {
                         core.stats.borrow_mut().arp_retransmissions += 1;
+                        core.tracer.count("host.resolver.retransmit", 1);
+                        core.tracer.event(ctx.now().as_nanos(), "host.resolver.retransmit", || {
+                            (
+                                core.name.clone(),
+                                format!("ip={ip} next_delay_ns={}", next_delay.as_nanos()),
+                            )
+                        });
                         core.send_arp_request(ctx, ip);
                         ctx.schedule_in(next_delay, token);
                     }
@@ -646,6 +685,11 @@ impl Device for Host {
                         let mut stats = core.stats.borrow_mut();
                         stats.resolutions_failed += 1;
                         stats.ipv4_send_failures += dropped as u64;
+                        drop(stats);
+                        core.tracer.count("host.resolver.giveup", 1);
+                        core.tracer.event(ctx.now().as_nanos(), "host.resolver.giveup", || {
+                            (core.name.clone(), format!("ip={ip} dropped_packets={dropped}"))
+                        });
                     }
                     None => {}
                 }

@@ -4,6 +4,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Duration;
 
+use arpshield_trace::Tracer;
+
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
 use crate::error::NetsimError;
 use crate::frame::Frame;
@@ -111,6 +113,10 @@ pub struct Simulator {
     /// cannot re-enter the simulator, so one scratch vector serves all
     /// callbacks without per-event allocation.
     scratch: Vec<Action>,
+    /// Observability sink for impairment outcomes. Disabled by default;
+    /// the perfect-link fast path never consults it. Declared last so
+    /// the hot dispatch fields above keep their relative positions.
+    run_tracer: Tracer,
 }
 
 impl std::fmt::Debug for dyn Device {
@@ -133,6 +139,7 @@ impl Simulator {
             impair_seed: seed ^ IMPAIR_SEED_SALT,
             default_profile: LinkProfile::PERFECT,
             trace: None,
+            run_tracer: Tracer::disabled(),
             stats: WireStats::default(),
             scratch: Vec::new(),
         }
@@ -221,6 +228,12 @@ impl Simulator {
         Ok(())
     }
 
+    /// Routes wire-level impairment outcomes (loss, outage drops,
+    /// duplication) into `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.run_tracer = tracer;
+    }
+
     /// Starts recording every delivered frame into an in-memory trace.
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
@@ -304,8 +317,30 @@ impl Simulator {
                         if fate.lost {
                             if profile.flap.map(|f| f.is_down(self.now)).unwrap_or(false) {
                                 self.stats.dropped_link_down += 1;
+                                self.run_tracer.count("wire.drop.link_down", 1);
+                                self.run_tracer.event(
+                                    self.now.as_nanos(),
+                                    "wire.drop.link_down",
+                                    || {
+                                        (
+                                            self.devices[from.0].name().to_string(),
+                                            format!("port={} frame_index={index}", port.0),
+                                        )
+                                    },
+                                );
                             } else {
                                 self.stats.dropped_lost += 1;
+                                self.run_tracer.count("wire.drop.lost", 1);
+                                self.run_tracer.event(
+                                    self.now.as_nanos(),
+                                    "wire.drop.lost",
+                                    || {
+                                        (
+                                            self.devices[from.0].name().to_string(),
+                                            format!("port={} frame_index={index}", port.0),
+                                        )
+                                    },
+                                );
                             }
                             continue;
                         }
@@ -326,6 +361,7 @@ impl Simulator {
                         );
                         if let Some((dup_at, copy)) = dup {
                             self.stats.duplicated += 1;
+                            self.run_tracer.count("wire.duplicated", 1);
                             self.push_event(
                                 dup_at,
                                 EventKind::Deliver {

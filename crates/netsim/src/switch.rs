@@ -8,6 +8,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use arpshield_packet::{EthernetFrame, MacAddr};
+use arpshield_trace::Tracer;
 
 use crate::device::{Device, DeviceCtx, PortId};
 use crate::frame::Frame;
@@ -69,6 +70,12 @@ impl CamTable {
             entry.port = port;
             entry.learned_at = now;
             return LearnOutcome::Moved { from };
+        }
+        if self.entries.len() >= self.capacity {
+            // A table full of *stale* entries must not lock out fresh
+            // learning between sweep ticks: age out inline before
+            // declaring the table full.
+            self.sweep(now);
         }
         if self.entries.len() >= self.capacity {
             return LearnOutcome::Full;
@@ -175,6 +182,8 @@ pub struct SwitchStats {
     pub dropped_security: u64,
     /// Frames dropped by the inspector, with reasons.
     pub dropped_inspector: u64,
+    /// Frames that failed Ethernet parsing at ingress and were dropped.
+    pub dropped_unparseable: u64,
     /// Most recent inspector drop reasons (bounded ring of 32).
     pub inspector_reasons: Vec<String>,
     /// Times a learn attempt found the table full.
@@ -241,6 +250,7 @@ pub struct Switch {
     stats: Rc<RefCell<SwitchStats>>,
     per_port_macs: HashMap<PortId, HashSet<MacAddr>>,
     inspector: Option<Box<dyn FrameInspector>>,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for dyn FrameInspector {
@@ -263,6 +273,7 @@ impl Switch {
                 stats,
                 per_port_macs: HashMap::new(),
                 inspector: None,
+                tracer: Tracer::disabled(),
             },
             handle,
         )
@@ -271,6 +282,11 @@ impl Switch {
     /// Installs an ingress [`FrameInspector`] (e.g. Dynamic ARP Inspection).
     pub fn set_inspector(&mut self, inspector: Box<dyn FrameInspector>) {
         self.inspector = Some(inspector);
+    }
+
+    /// Routes this switch's learn/drop outcomes into `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, frame: &Frame) {
@@ -303,7 +319,10 @@ impl Device for Switch {
 
     fn on_timer(&mut self, ctx: &mut DeviceCtx<'_>, token: u64) {
         if token == SWEEP_TOKEN {
-            self.cam.borrow_mut().sweep(ctx.now());
+            let evicted = self.cam.borrow_mut().sweep(ctx.now());
+            if evicted > 0 {
+                self.tracer.count("switch.cam.aged_out", evicted as u64);
+            }
             let interval = (self.config.cam_aging / 4).max(Duration::from_millis(100));
             ctx.schedule_in(interval, SWEEP_TOKEN);
         }
@@ -317,12 +336,23 @@ impl Device for Switch {
         }
 
         let Ok(eth) = EthernetFrame::parse(frame) else {
-            return; // unparseable garbage is dropped silently
+            // Unparseable garbage is dropped — but never silently: the
+            // drop is counted and attributable to its ingress port.
+            self.stats.borrow_mut().dropped_unparseable += 1;
+            self.tracer.count("switch.drop.unparseable", 1);
+            self.tracer.event(ctx.now().as_nanos(), "switch.drop.unparseable", || {
+                (self.name.clone(), format!("port={} len={}", port.0, frame.len()))
+            });
+            return;
         };
 
         // Ingress inspection (DAI etc.).
         if let Some(inspector) = &mut self.inspector {
             if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, &eth) {
+                self.tracer.count("switch.drop.inspector", 1);
+                self.tracer.event(ctx.now().as_nanos(), "switch.drop.inspector", || {
+                    (self.name.clone(), format!("port={} src={} reason={reason}", port.0, eth.src))
+                });
                 let mut stats = self.stats.borrow_mut();
                 stats.dropped_inspector += 1;
                 if stats.inspector_reasons.len() >= 32 {
@@ -339,6 +369,20 @@ impl Device for Switch {
                 let known = self.per_port_macs.entry(port).or_default();
                 if !known.contains(&eth.src) {
                     if known.len() >= ps.max_macs_per_port {
+                        self.tracer.count("switch.drop.port_security", 1);
+                        self.tracer.event(
+                            ctx.now().as_nanos(),
+                            "switch.port_security.violation",
+                            || {
+                                (
+                                    self.name.clone(),
+                                    format!(
+                                        "port={} src={} action={:?}",
+                                        port.0, eth.src, ps.violation
+                                    ),
+                                )
+                            },
+                        );
                         let mut stats = self.stats.borrow_mut();
                         stats.security_violations += 1;
                         stats.dropped_security += 1;
@@ -355,6 +399,34 @@ impl Device for Switch {
         // Source learning.
         if eth.src.is_unicast() && !eth.src.is_zero() {
             let outcome = self.cam.borrow_mut().learn(ctx.now(), eth.src, port);
+            match outcome {
+                LearnOutcome::Learned => self.tracer.count("switch.learn.new", 1),
+                LearnOutcome::Refreshed => self.tracer.count("switch.learn.refreshed", 1),
+                LearnOutcome::Moved { from } => {
+                    self.tracer.count("switch.learn.moved", 1);
+                    self.tracer.event(ctx.now().as_nanos(), "switch.cam.moved", || {
+                        (
+                            self.name.clone(),
+                            format!("src={} moved port {}->{}", eth.src, from.0, port.0),
+                        )
+                    });
+                }
+                LearnOutcome::Full => {
+                    self.tracer.count("switch.learn.full", 1);
+                    self.tracer.event(ctx.now().as_nanos(), "switch.cam.full", || {
+                        (
+                            self.name.clone(),
+                            format!(
+                                "src={} port={} occupancy={} fail_mode={:?}",
+                                eth.src,
+                                port.0,
+                                self.cam.borrow().occupancy(),
+                                self.config.fail_mode
+                            ),
+                        )
+                    });
+                }
+            }
             if outcome == LearnOutcome::Full {
                 self.stats.borrow_mut().cam_full_events += 1;
                 if self.config.fail_mode == FailMode::DropNew {
@@ -385,11 +457,13 @@ impl Device for Switch {
                 if out != port && !self.stats.borrow().shutdown_ports.contains(&out) {
                     ctx.send(out, shared.clone());
                     self.stats.borrow_mut().forwarded += 1;
+                    self.tracer.count("switch.forwarded", 1);
                 }
                 return;
             }
         }
         self.stats.borrow_mut().flooded += 1;
+        self.tracer.count("switch.flooded", 1);
         self.flood(ctx, port, &shared);
     }
 }
@@ -548,6 +622,46 @@ mod tests {
         assert_eq!(cam.occupancy(), 1);
         assert_eq!(cam.lookup(MacAddr::from_index(1)), None);
         assert_eq!(cam.lookup(MacAddr::from_index(2)), Some(PortId(1)));
+    }
+
+    #[test]
+    fn full_table_of_stale_entries_does_not_lock_out_learning() {
+        let mut cam = CamTable::new(2, Duration::from_secs(60));
+        cam.learn(SimTime::ZERO, MacAddr::from_index(1), PortId(0));
+        cam.learn(SimTime::from_secs(90), MacAddr::from_index(2), PortId(1));
+        assert!(cam.is_full());
+        // Between sweep ticks, a fresh source arriving after entry 1
+        // aged out must evict it inline, not bounce off a stale Full.
+        assert_eq!(
+            cam.learn(SimTime::from_secs(100), MacAddr::from_index(3), PortId(2)),
+            LearnOutcome::Learned
+        );
+        assert_eq!(cam.occupancy(), 2);
+        assert_eq!(cam.lookup(MacAddr::from_index(1)), None, "stale entry evicted");
+        assert_eq!(cam.lookup(MacAddr::from_index(2)), Some(PortId(1)), "fresh entry kept");
+        // When every entry is genuinely fresh, Full still stands.
+        assert_eq!(
+            cam.learn(SimTime::from_secs(101), MacAddr::from_index(4), PortId(3)),
+            LearnOutcome::Full
+        );
+    }
+
+    #[test]
+    fn unparseable_frames_are_counted_not_silent() {
+        let mut sim = Simulator::new(1);
+        let (sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+        let sw = sim.add_device(Box::new(sw));
+        // A runt frame (shorter than an Ethernet header) and one valid frame.
+        let (a, _) = Station::new(vec![
+            (1, vec![0xde, 0xad, 0xbe]),
+            (10, frame(MacAddr::from_index(1), MacAddr::BROADCAST)),
+        ]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.stats.borrow().dropped_unparseable, 1);
+        assert_eq!(b_rx.borrow().len(), 1, "only the valid frame got through");
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use arpshield_netsim::SimTime;
 use arpshield_packet::{Ipv4Addr, MacAddr};
+use arpshield_trace::Tracer;
 
 /// What a scheme believes it saw.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,6 +33,24 @@ pub enum AlertKind {
     RateAnomaly,
 }
 
+impl AlertKind {
+    /// Stable lower-snake label, used as the trace counter suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlertKind::BindingChanged => "binding_changed",
+            AlertKind::UnsolicitedReply => "unsolicited_reply",
+            AlertKind::ReplyMismatch => "reply_mismatch",
+            AlertKind::ProbeContradiction => "probe_contradiction",
+            AlertKind::DuplicateResponders => "duplicate_responders",
+            AlertKind::SignatureInvalid => "signature_invalid",
+            AlertKind::UnsignedReply => "unsigned_reply",
+            AlertKind::ReplaceRejected => "replace_rejected",
+            AlertKind::DaiViolation => "dai_violation",
+            AlertKind::RateAnomaly => "rate_anomaly",
+        }
+    }
+}
+
 /// One detection event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alert {
@@ -49,10 +68,27 @@ pub struct Alert {
     pub expected_mac: Option<MacAddr>,
 }
 
+/// The trace counter bumped for each [`AlertKind`].
+fn verdict_counter(kind: AlertKind) -> &'static str {
+    match kind {
+        AlertKind::BindingChanged => "scheme.verdict.binding_changed",
+        AlertKind::UnsolicitedReply => "scheme.verdict.unsolicited_reply",
+        AlertKind::ReplyMismatch => "scheme.verdict.reply_mismatch",
+        AlertKind::ProbeContradiction => "scheme.verdict.probe_contradiction",
+        AlertKind::DuplicateResponders => "scheme.verdict.duplicate_responders",
+        AlertKind::SignatureInvalid => "scheme.verdict.signature_invalid",
+        AlertKind::UnsignedReply => "scheme.verdict.unsigned_reply",
+        AlertKind::ReplaceRejected => "scheme.verdict.replace_rejected",
+        AlertKind::DaiViolation => "scheme.verdict.dai_violation",
+        AlertKind::RateAnomaly => "scheme.verdict.rate_anomaly",
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     alerts: Vec<Alert>,
     work: HashMap<&'static str, u64>,
+    tracer: Tracer,
 }
 
 /// Shared, append-only alert log with per-scheme work accounting.
@@ -69,9 +105,33 @@ impl AlertLog {
         AlertLog::default()
     }
 
+    /// Routes every raised verdict (with its evidence) into `tracer`.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.borrow_mut().tracer = tracer;
+    }
+
     /// Records an alert.
     pub fn raise(&self, alert: Alert) {
-        self.inner.borrow_mut().alerts.push(alert);
+        let mut inner = self.inner.borrow_mut();
+        inner.tracer.count(verdict_counter(alert.kind), 1);
+        inner.tracer.event(alert.at.as_nanos(), "scheme.verdict", || {
+            let fmt_ip =
+                |ip: Option<Ipv4Addr>| ip.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
+            let fmt_mac = |mac: Option<MacAddr>| {
+                mac.map(|m| m.to_string()).unwrap_or_else(|| "-".to_string())
+            };
+            (
+                alert.scheme.to_string(),
+                format!(
+                    "kind={} subject_ip={} observed_mac={} expected_mac={}",
+                    alert.kind.label(),
+                    fmt_ip(alert.subject_ip),
+                    fmt_mac(alert.observed_mac),
+                    fmt_mac(alert.expected_mac),
+                ),
+            )
+        });
+        inner.alerts.push(alert);
     }
 
     /// Charges `units` of abstract CPU work to `scheme`.

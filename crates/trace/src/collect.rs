@@ -1,0 +1,251 @@
+//! The process-side sink: a [`TraceCollector`] gathers finished run
+//! sections (from any worker thread) and exports them as a
+//! deterministic [`RunManifest`].
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::marker::PhantomData;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use crate::csv::csv_escape;
+use crate::json::quote;
+
+/// One flushed run: its label, its counters (kept structured so the
+/// manifest can merge totals), and its serialized JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSection {
+    /// The run label chosen at [`crate::Tracer::for_current_run`] time
+    /// plus any annotations.
+    pub label: String,
+    /// Final counter values for the run.
+    pub counters: BTreeMap<String, u64>,
+    /// The run serialized as a single-line JSON object.
+    pub body: String,
+}
+
+/// Collects run sections and warnings from every thread participating
+/// in an experiment. `Send + Sync`; workers reach it through the
+/// thread-local installed by [`install`].
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    sections: Mutex<Vec<RunSection>>,
+    warnings: Mutex<Vec<String>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<TraceCollector>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `collector` as this thread's current trace sink until the
+/// returned guard drops. Installs nest (the innermost wins), so
+/// concurrently running tests in one process cannot cross-contaminate.
+/// Worker pools must capture [`current`] on the submitting thread and
+/// re-[`install`] it inside each worker for tracing to propagate.
+#[must_use = "the collector is uninstalled when the guard drops"]
+pub fn install(collector: Arc<TraceCollector>) -> InstallGuard {
+    CURRENT.with(|c| c.borrow_mut().push(collector));
+    InstallGuard { _not_send: PhantomData }
+}
+
+/// The collector currently installed on this thread, if any.
+pub fn current() -> Option<Arc<TraceCollector>> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+/// RAII guard returned by [`install`]; uninstalls on drop. Not `Send`:
+/// it must drop on the thread that installed.
+#[derive(Debug)]
+pub struct InstallGuard {
+    _not_send: PhantomData<Rc<()>>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no run has flushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.sections.lock().expect("trace sections poisoned").is_empty()
+    }
+
+    /// Records an out-of-band warning (e.g. a rejected environment
+    /// variable) into the manifest instead of stderr.
+    pub fn warn(&self, message: impl Into<String>) {
+        self.warnings.lock().expect("trace warnings poisoned").push(message.into());
+    }
+
+    pub(crate) fn push_section(&self, section: RunSection) {
+        self.sections.lock().expect("trace sections poisoned").push(section);
+    }
+
+    /// Snapshots everything collected so far into a manifest for
+    /// `experiment`. Sections are sorted by `(label, body)` and
+    /// warnings sorted and deduplicated, so the result is
+    /// byte-identical no matter which worker finished first.
+    pub fn manifest(&self, experiment: &str) -> RunManifest {
+        let mut runs = self.sections.lock().expect("trace sections poisoned").clone();
+        runs.sort_by(|a, b| (&a.label, &a.body).cmp(&(&b.label, &b.body)));
+        let mut warnings = self.warnings.lock().expect("trace warnings poisoned").clone();
+        warnings.sort();
+        warnings.dedup();
+        let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+        for run in &runs {
+            for (name, value) in &run.counters {
+                *totals.entry(name.clone()).or_insert(0) += value;
+            }
+        }
+        RunManifest { experiment: experiment.to_string(), totals, warnings, runs }
+    }
+}
+
+/// The per-experiment trace artifact: every run's section plus merged
+/// counter totals. Exported as JSON and CSV under `results/trace/`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Experiment id the manifest belongs to (e.g. `t2`).
+    pub experiment: String,
+    /// All run counters merged by per-name addition.
+    pub totals: BTreeMap<String, u64>,
+    /// Out-of-band warnings, sorted and deduplicated.
+    pub warnings: Vec<String>,
+    /// The flushed runs, sorted by `(label, body)`.
+    pub runs: Vec<RunSection>,
+}
+
+impl RunManifest {
+    /// Serializes the manifest as JSON: deterministic key order, one
+    /// run object per line so manifests diff readably.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"arpshield-trace/1\",");
+        let _ = writeln!(out, "  \"experiment\": {},", quote(&self.experiment));
+        let _ = writeln!(out, "  \"time_unit\": \"ns\",");
+        out.push_str("  \"totals\": {");
+        for (i, (name, value)) in self.totals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {value}", quote(name));
+        }
+        out.push_str(if self.totals.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"warnings\": [");
+        for (i, warning) in self.warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", quote(warning));
+        }
+        out.push_str(if self.warnings.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"runs\": [");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&run.body);
+        }
+        out.push_str(if self.runs.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Serializes the counters as CSV (`run,counter,value`), one row
+    /// per run counter plus merged totals under the pseudo-run
+    /// `__total__`. Fields go through [`csv_escape`].
+    pub fn to_counters_csv(&self) -> String {
+        let mut out = String::from("run,counter,value\n");
+        for run in &self.runs {
+            for (name, value) in &run.counters {
+                let _ = writeln!(out, "{},{},{value}", csv_escape(&run.label), csv_escape(name));
+            }
+        }
+        for (name, value) in &self.totals {
+            let _ = writeln!(out, "__total__,{},{value}", csv_escape(name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(label: &str, counter: &str, value: u64) -> RunSection {
+        let mut counters = BTreeMap::new();
+        counters.insert(counter.to_string(), value);
+        RunSection {
+            label: label.to_string(),
+            counters,
+            body: format!("{{\"label\":{}}}", quote(label)),
+        }
+    }
+
+    #[test]
+    fn manifest_sorts_runs_and_merges_totals() {
+        let collector = TraceCollector::new();
+        collector.push_section(section("b-run", "drops", 3));
+        collector.push_section(section("a-run", "drops", 4));
+        collector.warn("w2");
+        collector.warn("w1");
+        collector.warn("w1");
+        let manifest = collector.manifest("tX");
+        assert_eq!(manifest.runs[0].label, "a-run");
+        assert_eq!(manifest.runs[1].label, "b-run");
+        assert_eq!(manifest.totals.get("drops"), Some(&7));
+        assert_eq!(manifest.warnings, vec!["w1".to_string(), "w2".to_string()]);
+    }
+
+    #[test]
+    fn nested_install_restores_outer() {
+        assert!(current().is_none());
+        let outer = Arc::new(TraceCollector::new());
+        let g1 = install(Arc::clone(&outer));
+        {
+            let inner = Arc::new(TraceCollector::new());
+            let _g2 = install(Arc::clone(&inner));
+            assert!(Arc::ptr_eq(&current().unwrap(), &inner));
+        }
+        assert!(Arc::ptr_eq(&current().unwrap(), &outer));
+        drop(g1);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let collector = TraceCollector::new();
+        collector.push_section(section("r", "c", 1));
+        let json = collector.manifest("t9").to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"arpshield-trace/1\""));
+        assert!(json.contains("\"experiment\": \"t9\""));
+        assert!(json.contains("\"time_unit\": \"ns\""));
+        assert!(json.contains("\"totals\": {"));
+        assert!(json.contains("\"runs\": ["));
+        let empty = TraceCollector::new().manifest("t0").to_json();
+        assert!(empty.contains("\"runs\": []"));
+        assert!(empty.contains("\"warnings\": []"));
+    }
+
+    #[test]
+    fn counters_csv_escapes_labels() {
+        let collector = TraceCollector::new();
+        collector.push_section(section("scheme=a, attack=b", "drops", 2));
+        let csv = collector.manifest("t").to_counters_csv();
+        assert!(csv.starts_with("run,counter,value\n"));
+        assert!(csv.contains("\"scheme=a, attack=b\",drops,2\n"));
+        assert!(csv.contains("__total__,drops,2\n"));
+    }
+}

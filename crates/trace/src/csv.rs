@@ -1,0 +1,48 @@
+//! The one CSV field escaper shared by every CSV writer in the
+//! workspace (report tables, report series, trace manifests).
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes with
+/// embedded quotes doubled. Clean fields pass through unchanged, so
+/// writers that only ever emit clean fields produce byte-identical
+/// output with or without the escaper.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fields_pass_through() {
+        assert_eq!(csv_escape("hosts"), "hosts");
+        assert_eq!(csv_escape("10.0.0.7"), "10.0.0.7");
+        assert_eq!(csv_escape(""), "");
+    }
+
+    #[test]
+    fn commas_and_quotes_are_quoted() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn embedded_newlines_are_quoted() {
+        assert_eq!(csv_escape("line1\nline2"), "\"line1\nline2\"");
+        assert_eq!(csv_escape("cr\rlf"), "\"cr\rlf\"");
+    }
+}

@@ -1,0 +1,149 @@
+//! Fixed-bin log₂ histograms.
+//!
+//! Buckets are *fixed*, not adaptive: bucket 0 holds the value 0 and
+//! bucket `b ≥ 1` holds `[2^(b-1), 2^b)`. Recording never rebalances,
+//! so merging two histograms is per-bin integer addition — an
+//! associative, commutative operation — which is what makes trace
+//! output byte-stable no matter how runs are scheduled across worker
+//! threads.
+
+/// Number of buckets: one for zero plus one per power of two up to
+/// `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// The fixed bucket index for a value: 0 for 0, otherwise
+/// `64 - value.leading_zeros()` (the position of the highest set bit,
+/// one-based).
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// The inclusive value range `[low, high]` covered by bucket `index`.
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically durations in
+/// simulated nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { bins: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.bins[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Occupancy of bucket `index`.
+    pub fn bin(&self, index: usize) -> u64 {
+        self.bins[index]
+    }
+
+    /// Folds `other` into `self` by per-bin addition.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, in
+    /// ascending bucket order (the sparse form the manifest exports).
+    pub fn nonzero_bins(&self) -> Vec<(usize, u64)> {
+        self.bins.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let (lo, hi) = bucket_range(b);
+            assert_eq!(bucket_of(lo), b);
+            assert_eq!(bucket_of(hi), b);
+        }
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0u64, 1, 5, 5, 900] {
+            a.record(v);
+        }
+        for v in [7u64, 1_000_000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 7);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), Some(0));
+        assert_eq!(merged.max(), Some(1_000_000));
+        for i in 0..BUCKETS {
+            assert_eq!(merged.bin(i), a.bin(i) + b.bin(i));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Minimal JSON string quoting for manifest export. Writing only —
+//! validation of emitted manifests lives in the testkit's JSON parser.
+
+/// Quotes `s` as a JSON string literal, escaping the characters JSON
+/// requires (quote, backslash, control characters).
+pub(crate) fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(quote("nl\ntab\t"), "\"nl\\ntab\\t\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+}

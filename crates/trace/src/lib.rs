@@ -1,0 +1,52 @@
+//! Deterministic observability for the arpshield workspace.
+//!
+//! Every diagnostic this crate records is stamped with **simulation
+//! time** (nanoseconds since the run started), never wall clock, so a
+//! trace taken today diffs clean against one taken next year on a
+//! different machine. The layer has three pieces:
+//!
+//! * [`Tracer`] — the per-run handle the instrumented crates hold
+//!   (simulator, switch, host stacks, scheme alert log). It records
+//!   structured [`Event`]s, named counters, and log-bucketed
+//!   [`Histogram`]s into a [`RunRecorder`].
+//! * [`TraceCollector`] — a process-wide (thread-local, explicitly
+//!   propagated) sink that finished runs flush into. Installed with
+//!   [`install`]; when no collector is installed every [`Tracer`] is
+//!   disabled and recording is a single branch on a `None`.
+//! * [`RunManifest`] — the deterministic JSON/CSV export written under
+//!   `results/trace/` by `reproduce --trace`.
+//!
+//! ## Determinism contract
+//!
+//! The manifest for a given experiment and seed is byte-identical at
+//! any `ARPSHIELD_THREADS` value. Three properties make that hold:
+//!
+//! 1. every run records into its own [`RunRecorder`] on the thread
+//!    that executes it, so there is no cross-run interleaving;
+//! 2. histograms use *fixed* log₂ bins ([`bucket_of`]), so merging is
+//!    per-bin integer addition — associative and commutative — and
+//!    counter merges are plain sums with the same algebra;
+//! 3. the collector sorts flushed run sections (and warnings) before
+//!    export, erasing job-completion order.
+//!
+//! ## Disabled-path cost
+//!
+//! A disabled [`Tracer`] is `Option::None` behind the handle: every
+//! record call is one branch, no allocation, no formatting (event
+//! construction is closure-gated). The `reproduce` binary installs no
+//! collector unless `--trace` is passed, so legacy CSV outputs and
+//! bench numbers are untouched by instrumentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collect;
+mod csv;
+mod hist;
+mod json;
+mod record;
+
+pub use collect::{current, install, InstallGuard, RunManifest, RunSection, TraceCollector};
+pub use csv::csv_escape;
+pub use hist::{bucket_of, bucket_range, Histogram, BUCKETS};
+pub use record::{Event, RunRecorder, Tracer, MAX_EVENTS_PER_RUN};

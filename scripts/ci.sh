@@ -5,8 +5,9 @@
 #   scripts/ci.sh
 #
 # Steps: rustfmt check, release build, full test suite, a smoke run of
-# the t5r loss-resilience sweep, and a one-iteration smoke run of every
-# bench (which also exercises the results/bench/*.json emission path).
+# the t5r loss-resilience sweep, a `--trace` smoke (manifest emission +
+# validation), and a one-iteration smoke run of every bench (which also
+# exercises the results/bench/*.json emission path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +29,15 @@ t5r_out="$(mktemp -d)"
 ./target/release/reproduce t5r --out "$t5r_out" >/dev/null
 test -s "$t5r_out/t5r.csv"
 rm -rf "$t5r_out"
+
+echo "==> reproduce --trace smoke (run manifest emission + validation)"
+trace_out="$(mktemp -d)"
+./target/release/reproduce --trace t2 --out "$trace_out" >/dev/null
+test -s "$trace_out/t2.csv"
+test -s "$trace_out/trace/t2.json"
+test -s "$trace_out/trace/t2.csv"
+./target/release/reproduce validate-trace "$trace_out/trace/t2.json"
+rm -rf "$trace_out"
 
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline

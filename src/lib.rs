@@ -22,6 +22,7 @@
 //! | [`host`] | `arpshield-host` | end-host stacks: ARP cache + policies, resolver, DHCP, apps, hooks |
 //! | [`attacks`] | `arpshield-attacks` | poisoning variants, MITM relay, MAC flooding, DHCP starvation, rogue DHCP |
 //! | [`schemes`] | `arpshield-schemes` | static ARP, arpwatch-, XArp-, Snort-, Anticap/Antidote-, S-ARP-, port-security- and DAI-style defences |
+//! | [`trace`] | `arpshield-trace` | deterministic observability: sim-time events, counters/histograms, run manifests |
 //! | [`analysis`] | `arpshield-core` | scenarios, metrics, the T1–T5/F1–F6 experiments, report rendering |
 //!
 //! ## Quickstart
@@ -49,3 +50,4 @@ pub use arpshield_host as host;
 pub use arpshield_netsim as netsim;
 pub use arpshield_packet as packet;
 pub use arpshield_schemes as schemes;
+pub use arpshield_trace as trace;

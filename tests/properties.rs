@@ -456,3 +456,101 @@ mod frame_sharing {
         }
     }
 }
+
+/// The trace layer's aggregation invariants: bucketing is monotone and
+/// total, merging is associative/commutative (so worker interleaving
+/// cannot change a manifest), and CSV escaping round-trips any field.
+mod trace_invariants {
+    use super::*;
+    use arpshield::trace::{bucket_of, bucket_range, csv_escape, Histogram, BUCKETS};
+
+    /// Minimal CSV field unquoter (the inverse of `csv_escape`).
+    fn csv_unescape(field: &str) -> String {
+        match field.strip_prefix('"').and_then(|f| f.strip_suffix('"')) {
+            Some(inner) => inner.replace("\"\"", "\""),
+            None => field.to_string(),
+        }
+    }
+
+    properties! {
+        #[test]
+        fn histogram_bucketing_is_monotone_and_total(a in any::<u64>(), b in any::<u64>()) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(bucket_of(lo) <= bucket_of(hi), "bucketing must be monotone");
+            prop_assert!(bucket_of(hi) < BUCKETS, "every u64 lands in a bucket");
+            let (lo_bound, hi_bound) = bucket_range(bucket_of(a));
+            prop_assert!(lo_bound <= a && a <= hi_bound, "value lies in its bucket's range");
+        }
+
+        #[test]
+        fn histogram_merge_is_associative_and_commutative(
+            xs in collection::vec(any::<u64>(), 0..40),
+            ys in collection::vec(any::<u64>(), 0..40),
+            zs in collection::vec(any::<u64>(), 0..40),
+        ) {
+            let hist = |vals: &[u64]| {
+                let mut h = Histogram::new();
+                for &v in vals {
+                    h.record(v);
+                }
+                h
+            };
+            let (x, y, z) = (hist(&xs), hist(&ys), hist(&zs));
+
+            // (x + y) + z == x + (y + z): worker scheduling order is moot.
+            let mut left = x.clone();
+            left.merge(&y);
+            left.merge(&z);
+            let mut right_tail = y.clone();
+            right_tail.merge(&z);
+            let mut right = x.clone();
+            right.merge(&right_tail);
+            prop_assert_eq!(&left, &right);
+
+            // x + y == y + x.
+            let mut xy = x.clone();
+            xy.merge(&y);
+            let mut yx = y.clone();
+            yx.merge(&x);
+            prop_assert_eq!(&xy, &yx);
+
+            // Merging equals recording the concatenation directly.
+            let mut all = xs.clone();
+            all.extend(&ys);
+            all.extend(&zs);
+            prop_assert_eq!(&left, &hist(&all));
+        }
+
+        #[test]
+        fn counter_total_merge_is_order_independent(
+            counts in collection::vec((0u8..4, 0u64..1_000_000), 0..30),
+        ) {
+            // Counter merge is per-name addition; any grouping of the
+            // per-run deltas must produce the same totals.
+            use std::collections::BTreeMap;
+            let names = ["a", "b", "c", "d"];
+            let mut forward: BTreeMap<&str, u64> = BTreeMap::new();
+            for &(which, n) in &counts {
+                *forward.entry(names[which as usize]).or_insert(0) += n;
+            }
+            let mut backward: BTreeMap<&str, u64> = BTreeMap::new();
+            for &(which, n) in counts.iter().rev() {
+                *backward.entry(names[which as usize]).or_insert(0) += n;
+            }
+            prop_assert_eq!(forward, backward);
+        }
+
+        #[test]
+        fn csv_escape_roundtrips_any_field(field in collection::vec(any::<u8>(), 0..80)) {
+            let field: String = field.into_iter().map(|b| b as char).collect();
+            let escaped = csv_escape(&field);
+            // An escaped field never leaks a bare separator or newline.
+            if escaped == field {
+                prop_assert!(!field.contains([',', '\n', '\r', '"']));
+            } else {
+                prop_assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+            }
+            prop_assert_eq!(csv_unescape(&escaped), field);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The observability layer's two core promises, pinned end to end:
+//!
+//! 1. **Tracing is inert**: running an experiment under an installed
+//!    trace collector produces byte-identical tables/figures to running
+//!    it without one. Observation must never perturb the simulation.
+//! 2. **Manifests are deterministic**: the manifest a traced experiment
+//!    produces is byte-identical at any `ARPSHIELD_THREADS` setting —
+//!    per-run recorders plus sorted sections erase scheduling order.
+
+use std::sync::Arc;
+
+use arpshield::analysis::experiment::{t2_susceptibility, t3_coverage};
+use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
+use arpshield::attacks::PoisonVariant;
+use arpshield::schemes::SchemeKind;
+use arpshield::trace::{install, TraceCollector};
+
+#[test]
+fn tracing_does_not_perturb_experiment_output() {
+    let plain = t2_susceptibility(21).to_csv();
+    let collector = Arc::new(TraceCollector::new());
+    let traced = {
+        let _guard = install(collector.clone());
+        t2_susceptibility(21).to_csv()
+    };
+    assert_eq!(plain, traced, "observation must never change the observed simulation");
+    assert!(!collector.is_empty(), "the traced run must actually have recorded something");
+}
+
+#[test]
+fn manifest_is_thread_count_independent() {
+    let manifest = |threads: &str| {
+        std::env::set_var("ARPSHIELD_THREADS", threads);
+        let collector = Arc::new(TraceCollector::new());
+        let csv = {
+            let _guard = install(collector.clone());
+            t3_coverage(21).to_csv()
+        };
+        std::env::remove_var("ARPSHIELD_THREADS");
+        (csv, collector.manifest("t3").to_json())
+    };
+    let (csv_seq, manifest_seq) = manifest("1");
+    let (csv_par, manifest_par) = manifest("4");
+    assert_eq!(csv_seq, csv_par, "the experiment itself is thread-count independent");
+    assert_eq!(manifest_seq, manifest_par, "and so is its trace manifest, byte for byte");
+    assert!(manifest_seq.contains("scheme.verdict"), "defended cells must log verdicts");
+}
+
+#[test]
+fn attack_run_manifest_carries_the_evidence_chain() {
+    let collector = Arc::new(TraceCollector::new());
+    {
+        let _guard = install(collector.clone());
+        let run = AttackScenario::poisoning(
+            ScenarioConfig::new(31).with_hosts(3).with_scheme(SchemeKind::Passive),
+            PoisonVariant::GratuitousReply,
+        )
+        .run();
+        assert!(!run.lan.alerts.is_empty(), "passive scheme must detect the forgery");
+    }
+    let manifest = collector.manifest("attack-smoke");
+    let json = manifest.to_json();
+    assert_eq!(manifest.runs.len(), 1, "one simulated run, one manifest section");
+    assert!(
+        manifest.runs[0].label.contains("attack=gratuitous-reply"),
+        "run label names the attack: {}",
+        manifest.runs[0].label
+    );
+    for needle in [
+        "\"scheme.verdict.binding_changed\"",
+        "\"switch.learn.new\"",
+        "\"host.cache.create\"",
+        "subject_ip=10.0.0.1",
+        "\"host.resolution_latency_ns\"",
+    ] {
+        assert!(json.contains(needle), "manifest must carry {needle}:\n{json}");
+    }
+    assert!(json.contains("\"at_ns\":"), "events must carry sim-time stamps");
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    // No collector installed: the whole layer must stay dormant.
+    let run = AttackScenario::poisoning(
+        ScenarioConfig::new(31).with_hosts(3).with_scheme(SchemeKind::Passive),
+        PoisonVariant::GratuitousReply,
+    )
+    .run();
+    assert!(!run.lan.tracer.is_enabled());
+    assert!(!run.lan.alerts.is_empty());
+}
