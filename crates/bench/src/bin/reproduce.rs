@@ -1,21 +1,32 @@
 //! Regenerates every table and figure of the evaluation.
 //!
 //! ```text
-//! reproduce                  # run everything
-//! reproduce t3 f1            # run a subset by id
-//! reproduce --out DIR        # also write CSVs (default: results/)
-//! reproduce --trace t2       # additionally write results/trace/t2.{json,csv}
-//! reproduce validate-trace F # check a trace manifest and exit
+//! reproduce                   # run everything
+//! reproduce t3 f1             # run a subset by id
+//! reproduce --out DIR         # also write CSVs (default: results/)
+//! reproduce --trace t2        # additionally write results/trace/t2.{json,csv,hist.csv}
+//! reproduce --capture t2      # additionally write results/capture/t2.{pcapng,index.json}
+//! reproduce validate-trace P… # check trace manifests (files and/or directories) and exit
+//! reproduce inspect FILE      # decode a .pcapng capture into a forensic timeline
 //! ```
 //!
 //! `--trace` installs a per-experiment trace collector around each
 //! experiment, so every simulated run flushes its sim-time-stamped
 //! counters, histograms, and events into one manifest per experiment
-//! id under `<out>/trace/`. The experiment CSVs themselves are
-//! byte-identical with and without the flag.
+//! id under `<out>/trace/`. `--capture` additionally arms the flight
+//! recorder: every wire frame lands in a bounded per-run ring
+//! (capacity via `ARPSHIELD_RECORD_FRAMES`), exported as a standard
+//! pcapng (openable in Wireshark) plus a JSON index tying scheme
+//! verdicts to the frames that triggered them. The experiment CSVs
+//! themselves are byte-identical with and without either flag.
+//!
+//! `inspect` joins a capture with its `.index.json` sidecar into a
+//! per-run timeline interleaving frames, cache/CAM mutations, and
+//! scheme verdicts; `--host S`, `--mac S`, and `--verdict S` narrow it.
 
+use std::collections::HashMap;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -25,6 +36,7 @@ use arpshield_core::experiment::{
     t5_cost, t5_resilience, t6_dos_coverage,
 };
 use arpshield_core::{taxonomy, Series, Table};
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame};
 use arpshield_trace::TraceCollector;
 
 const SEED: u64 = 20070625; // the venue's year, as a nod
@@ -32,33 +44,61 @@ const SEED: u64 = 20070625; // the venue's year, as a nod
 struct Output {
     out_dir: PathBuf,
     trace: bool,
+    /// Flight-recorder ring capacity; `Some` arms `--capture`.
+    capture: Option<usize>,
 }
 
 impl Output {
     /// Runs one experiment, optionally under a fresh trace collector
-    /// whose manifest lands in `<out>/trace/<id>.{json,csv}`.
+    /// whose manifest lands in `<out>/trace/<id>.{json,csv,hist.csv}`
+    /// and whose capture lands in `<out>/capture/<id>.{pcapng,index.json}`.
     fn traced<T>(&self, id: &str, f: impl FnOnce() -> T) -> T {
-        if !self.trace {
+        if !self.trace && self.capture.is_none() {
             return f();
         }
-        let collector = Arc::new(TraceCollector::new());
+        let collector = Arc::new(match self.capture {
+            Some(capacity) => TraceCollector::with_capture(capacity),
+            None => TraceCollector::new(),
+        });
         let result = {
             let _guard = arpshield_trace::install(collector.clone());
             f()
         };
         let manifest = collector.manifest(id);
-        let dir = self.out_dir.join("trace");
+        if self.trace {
+            self.write_artifacts(
+                "trace",
+                &[
+                    (format!("{id}.json"), manifest.to_json().into_bytes()),
+                    (format!("{id}.csv"), manifest.to_counters_csv().into_bytes()),
+                    (format!("{id}.hist.csv"), manifest.to_histograms_csv().into_bytes()),
+                ],
+            );
+        }
+        if self.capture.is_some() {
+            self.write_artifacts(
+                "capture",
+                &[
+                    (format!("{id}.pcapng"), manifest.to_pcapng()),
+                    (format!("{id}.index.json"), manifest.to_capture_index().into_bytes()),
+                ],
+            );
+        }
+        result
+    }
+
+    fn write_artifacts(&self, subdir: &str, files: &[(String, Vec<u8>)]) {
+        let dir = self.out_dir.join(subdir);
         if let Err(e) = fs::create_dir_all(&dir) {
             eprintln!("warning: could not create {}: {e}", dir.display());
-            return result;
+            return;
         }
-        for (ext, body) in [("json", manifest.to_json()), ("csv", manifest.to_counters_csv())] {
-            let path = dir.join(format!("{id}.{ext}"));
+        for (name, body) in files {
+            let path = dir.join(name);
             if let Err(e) = fs::write(&path, body) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
-        result
     }
 
     fn table(&self, id: &str, make: impl FnOnce() -> Table) {
@@ -130,22 +170,368 @@ fn validate_trace_manifest(path: &str) -> Result<String, String> {
     Ok(format!("{path}: valid arpshield-trace/1 manifest with {} run(s)", runs.len()))
 }
 
+/// Expands a mix of file and directory arguments into the sorted list
+/// of manifest files to validate: directories contribute every
+/// `*.json` beneath them (recursively), explicit files pass through.
+fn collect_manifest_paths(arg: &Path, found: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !arg.is_dir() {
+        found.push(arg.to_path_buf());
+        return Ok(());
+    }
+    let entries = fs::read_dir(arg).map_err(|e| format!("cannot read {}: {e}", arg.display()))?;
+    let mut children: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            collect_manifest_paths(&child, found)?;
+        } else if child.extension().is_some_and(|ext| ext == "json") {
+            found.push(child);
+        }
+    }
+    Ok(())
+}
+
+fn run_validate_trace(paths: &[String]) -> i32 {
+    let mut files = Vec::new();
+    for arg in paths {
+        if let Err(e) = collect_manifest_paths(Path::new(arg), &mut files) {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no manifest files found under the given paths");
+        return 1;
+    }
+    let mut failed = 0usize;
+    for file in &files {
+        match validate_trace_manifest(&file.display().to_string()) {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("error: {}: {e}", file.display());
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} of {} manifest(s) failed validation", files.len());
+        1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------
+// `inspect`: the forensic timeline.
+// ---------------------------------------------------------------------
+
+/// One frame row, reassembled from a pcapng packet and its comment.
+struct FrameLine {
+    id: u64,
+    at_ns: u64,
+    kind: String,
+    src: String,
+    dst: String,
+    len: usize,
+    pinned: bool,
+    decoded: String,
+}
+
+/// One event row from the capture index.
+struct EventLine {
+    at_ns: u64,
+    category: String,
+    actor: String,
+    detail: String,
+    frames: Vec<u64>,
+}
+
+/// Splits a writer comment (`id=N kind=K src=S dst=D [pinned]`) into
+/// its fields; tolerates foreign captures with free-form comments.
+fn parse_frame_comment(comment: &str) -> (Option<u64>, String, String, String, bool) {
+    let mut id = None;
+    let mut kind = String::new();
+    let mut src = String::new();
+    let mut dst = String::new();
+    let mut pinned = false;
+    for token in comment.split_whitespace() {
+        match token.split_once('=') {
+            Some(("id", v)) => id = v.parse().ok(),
+            Some(("kind", v)) => kind = v.to_string(),
+            Some(("src", v)) => src = v.to_string(),
+            Some(("dst", v)) => dst = v.to_string(),
+            _ => pinned |= token == "pinned",
+        }
+    }
+    (id, kind, src, dst, pinned)
+}
+
+/// One-line protocol decode of a captured frame, via `crates/packet`.
+fn decode_frame(bytes: &[u8]) -> String {
+    let Ok(eth) = EthernetFrame::parse(bytes) else {
+        return "unparseable ethernet frame".to_string();
+    };
+    match eth.ethertype {
+        EtherType::ARP => match ArpPacket::parse(&eth.payload) {
+            Ok(arp) => {
+                if arp.is_probe() {
+                    format!("ARP probe who-has {} (from {})", arp.target_ip, arp.sender_mac)
+                } else if arp.is_gratuitous() {
+                    format!("gratuitous ARP {} is-at {}", arp.sender_ip, arp.sender_mac)
+                } else if arp.op == ArpOp::Request {
+                    format!("ARP who-has {} tell {}", arp.target_ip, arp.sender_ip)
+                } else {
+                    format!("ARP {} is-at {} (to {})", arp.sender_ip, arp.sender_mac, arp.target_ip)
+                }
+            }
+            Err(_) => format!("malformed ARP from {}", eth.src),
+        },
+        // Authenticated variants carry scheme-specific payloads behind
+        // the plain header; name the protocol and the endpoints.
+        other => format!("{other} {} -> {}", eth.src, eth.dst),
+    }
+}
+
+fn fmt_ts(at_ns: u64) -> String {
+    format!("{}.{:09}", at_ns / 1_000_000_000, at_ns % 1_000_000_000)
+}
+
+struct InspectFilter {
+    host: Option<String>,
+    mac: Option<String>,
+    verdict: Option<String>,
+}
+
+impl InspectFilter {
+    fn frame_matches(&self, f: &FrameLine) -> bool {
+        let host_ok = self
+            .host
+            .as_ref()
+            .map(|h| f.src.contains(h.as_str()) || f.dst.contains(h.as_str()))
+            .unwrap_or(true);
+        let mac_ok = self.mac.as_ref().map(|m| f.decoded.contains(m.as_str())).unwrap_or(true);
+        host_ok && mac_ok
+    }
+
+    fn event_matches(&self, e: &EventLine) -> bool {
+        let host_ok = self
+            .host
+            .as_ref()
+            .map(|h| e.actor.contains(h.as_str()) || e.detail.contains(h.as_str()))
+            .unwrap_or(true);
+        let mac_ok = self.mac.as_ref().map(|m| e.detail.contains(m.as_str())).unwrap_or(true);
+        let verdict_ok = self
+            .verdict
+            .as_ref()
+            .map(|v| e.category.starts_with("scheme.verdict") && e.detail.contains(v.as_str()))
+            .unwrap_or(true);
+        host_ok && mac_ok && verdict_ok
+    }
+}
+
+/// Loads the `.index.json` sidecar next to `path`, returning per-label
+/// events and eviction counts. A capture without its index still
+/// inspects (frames only), so hand-copied pcapng files work.
+#[allow(clippy::type_complexity)]
+fn load_index(
+    path: &str,
+) -> Result<(HashMap<String, Vec<EventLine>>, HashMap<String, u64>), String> {
+    let sidecar = match path.strip_suffix(".pcapng") {
+        Some(stem) => format!("{stem}.index.json"),
+        None => format!("{path}.index.json"),
+    };
+    let mut events_by_label = HashMap::new();
+    let mut evicted_by_label = HashMap::new();
+    let Ok(text) = fs::read_to_string(&sidecar) else {
+        eprintln!("note: no index sidecar at {sidecar}; timeline will show frames only");
+        return Ok((events_by_label, evicted_by_label));
+    };
+    let doc = arpshield_testkit::json::parse(&text)
+        .map_err(|e| format!("{sidecar}: invalid JSON: {e}"))?;
+    let schema = doc.get("schema").and_then(|v| v.as_str()).unwrap_or_default();
+    if schema != "arpshield-capture/1" {
+        return Err(format!("{sidecar}: unknown schema {schema:?}"));
+    }
+    for run in doc.get("runs").and_then(|v| v.as_arr()).unwrap_or_default() {
+        let Some(label) = run.get("label").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let evicted = run.get("frames_evicted").and_then(|v| v.as_num()).unwrap_or(0.0) as u64;
+        evicted_by_label.insert(label.to_string(), evicted);
+        let mut events = Vec::new();
+        for ev in run.get("events").and_then(|v| v.as_arr()).unwrap_or_default() {
+            events.push(EventLine {
+                at_ns: ev.get("at_ns").and_then(|v| v.as_num()).unwrap_or(0.0) as u64,
+                category: ev
+                    .get("category")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or_default()
+                    .to_string(),
+                actor: ev.get("actor").and_then(|v| v.as_str()).unwrap_or_default().to_string(),
+                detail: ev.get("detail").and_then(|v| v.as_str()).unwrap_or_default().to_string(),
+                frames: ev
+                    .get("frames")
+                    .and_then(|v| v.as_arr())
+                    .unwrap_or_default()
+                    .iter()
+                    .filter_map(|id| id.as_num())
+                    .map(|id| id as u64)
+                    .collect(),
+            });
+        }
+        events_by_label.insert(label.to_string(), events);
+    }
+    Ok((events_by_label, evicted_by_label))
+}
+
+fn run_inspect(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut filter = InspectFilter { host: None, mac: None, verdict: None };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value =
+            |name: &str| it.next().map(|v| v.to_string()).ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--host" => filter.host = Some(flag_value("--host")?),
+            "--mac" => filter.mac = Some(flag_value("--mac")?),
+            "--verdict" => filter.verdict = Some(flag_value("--verdict")?),
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("usage: reproduce inspect FILE [--host S] [--mac S] [--verdict S]")?;
+    let raw = fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let capture = arpshield_trace::pcapng::parse(&raw).map_err(|e| format!("{path}: {e}"))?;
+    let (events_by_label, evicted_by_label) = load_index(&path)?;
+
+    let mut frames_by_run: Vec<Vec<FrameLine>> = Vec::new();
+    frames_by_run.resize_with(capture.interfaces.len(), Vec::new);
+    for (seq, pkt) in capture.packets.iter().enumerate() {
+        let (id, kind, src, dst, pinned) = parse_frame_comment(&pkt.comment);
+        frames_by_run[pkt.interface].push(FrameLine {
+            id: id.unwrap_or(seq as u64 + 1),
+            at_ns: pkt.ts_ns,
+            kind,
+            src,
+            dst,
+            len: pkt.bytes.len(),
+            pinned,
+            decoded: decode_frame(&pkt.bytes),
+        });
+    }
+
+    let (mut frames_shown, mut frames_total) = (0usize, 0usize);
+    let (mut events_shown, mut events_total) = (0usize, 0usize);
+    for (run, label) in capture.interfaces.iter().enumerate() {
+        let frames = &frames_by_run[run];
+        let events = events_by_label.get(label).map(Vec::as_slice).unwrap_or_default();
+        frames_total += frames.len();
+        events_total += events.len();
+
+        // With --verdict, frames appear only as verdict provenance.
+        let cited: Option<std::collections::HashSet<u64>> = filter.verdict.as_ref().map(|_| {
+            events
+                .iter()
+                .filter(|e| filter.event_matches(e))
+                .flat_map(|e| e.frames.iter().copied())
+                .collect()
+        });
+        let visible_frames: Vec<&FrameLine> = frames
+            .iter()
+            .filter(|f| cited.as_ref().map(|set| set.contains(&f.id)).unwrap_or(true))
+            .filter(|f| filter.frame_matches(f))
+            .collect();
+        let visible_events: Vec<&EventLine> =
+            events.iter().filter(|e| filter.event_matches(e)).collect();
+        if visible_frames.is_empty() && visible_events.is_empty() {
+            continue;
+        }
+
+        let evicted = evicted_by_label.get(label).copied().unwrap_or(0);
+        println!(
+            "== run: {label} ({} frame(s) captured, {evicted} evicted, {} event(s)) ==",
+            frames.len(),
+            events.len(),
+        );
+        // Merge-sort frames and events into one timeline: by sim time,
+        // frames before events at the same instant (an event at t was
+        // caused by a frame dispatched at t), then record order.
+        enum Entry<'a> {
+            Frame(&'a FrameLine),
+            Event(&'a EventLine),
+        }
+        let mut timeline: Vec<(u64, u8, u64, Entry<'_>)> = Vec::new();
+        for f in &visible_frames {
+            timeline.push((f.at_ns, 0, f.id, Entry::Frame(f)));
+        }
+        for (seq, e) in visible_events.iter().enumerate() {
+            timeline.push((e.at_ns, 1, seq as u64, Entry::Event(e)));
+        }
+        timeline.sort_by_key(|(at, class, seq, _)| (*at, *class, *seq));
+        for (_, _, _, entry) in &timeline {
+            match entry {
+                Entry::Frame(f) => {
+                    frames_shown += 1;
+                    println!(
+                        "  {}  #{:<5} {:<14} {} -> {}  {}B  {}{}",
+                        fmt_ts(f.at_ns),
+                        f.id,
+                        f.kind,
+                        f.src,
+                        f.dst,
+                        f.len,
+                        f.decoded,
+                        if f.pinned { "  [pinned]" } else { "" },
+                    );
+                }
+                Entry::Event(e) => {
+                    events_shown += 1;
+                    let refs = if e.frames.is_empty() {
+                        String::new()
+                    } else {
+                        let ids: Vec<String> = e.frames.iter().map(|id| format!("#{id}")).collect();
+                        format!("  <= frames {}", ids.join(" "))
+                    };
+                    println!(
+                        "  {}  * {:<22} {:<16} {}{}",
+                        fmt_ts(e.at_ns),
+                        e.category,
+                        e.actor,
+                        e.detail,
+                        refs,
+                    );
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "{} run(s); showing {frames_shown}/{frames_total} frame(s), \
+         {events_shown}/{events_total} event(s)",
+        capture.interfaces.len(),
+    );
+    Ok(())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
     if args.first().map(String::as_str) == Some("validate-trace") {
-        let Some(path) = args.get(1) else {
-            eprintln!("usage: reproduce validate-trace FILE");
+        if args.len() < 2 {
+            eprintln!("usage: reproduce validate-trace FILE_OR_DIR...");
             std::process::exit(2);
-        };
-        match validate_trace_manifest(path) {
-            Ok(report) => println!("{report}"),
+        }
+        std::process::exit(run_validate_trace(&args[1..]));
+    }
+
+    if args.first().map(String::as_str) == Some("inspect") {
+        match run_inspect(&args[1..]) {
+            Ok(()) => return,
             Err(e) => {
                 eprintln!("error: {e}");
-                std::process::exit(1);
+                std::process::exit(if e.starts_with("usage:") { 2 } else { 1 });
             }
         }
-        return;
     }
 
     let mut out_dir = PathBuf::from("results");
@@ -160,8 +546,17 @@ fn main() {
         args.remove(pos);
         trace = true;
     }
+    let mut capture = None;
+    if let Some(pos) = args.iter().position(|a| a == "--capture") {
+        args.remove(pos);
+        let (capacity, warning) = arpshield_trace::ring_capacity_from_env();
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
+        capture = Some(capacity);
+    }
     fs::create_dir_all(&out_dir).ok();
-    let out = Output { out_dir, trace };
+    let out = Output { out_dir, trace, capture };
     let selected: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 

@@ -324,6 +324,17 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     let mut sim = Simulator::new(config.seed);
     sim.set_default_impairment(config.impairment);
     sim.set_tracer(tracer.clone());
+    // Anchor every timeline with the wiring facts an inspector needs
+    // to read the frame endpoints that follow.
+    tracer.event(0, "scenario.topology", || {
+        (
+            "lan".to_string(),
+            format!(
+                "switch_ports={ports} hosts={} scheme={} policy={:?} mirror={}",
+                config.n_hosts, config.scheme, config.policy, needs_monitor
+            ),
+        )
+    });
     let (mut switch, switch_handle) = Switch::new("sw", switch_config);
     switch.set_tracer(tracer.clone());
     if let Some(inspector) = installation.inspector {
@@ -404,7 +415,9 @@ pub fn build(config: ScenarioConfig) -> BuiltLan {
     let mut monitor_hub = None;
     let mut next_hub_port = 0u16;
     if needs_monitor {
-        let hub_id = sim.add_device(Box::new(Hub::new("monitor-hub", 6)));
+        let mut hub = Hub::new("monitor-hub", 6);
+        hub.set_tracer(tracer.clone());
+        let hub_id = sim.add_device(Box::new(hub));
         sim.connect(hub_id, PortId(0), switch_id, PortId(mirror_port), Duration::from_micros(2))
             .unwrap();
         monitor_hub = Some(hub_id);

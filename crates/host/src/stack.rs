@@ -522,6 +522,11 @@ impl Host {
             core.stats.borrow_mut().cache_writes += 1;
             let category =
                 if admit_ctx.have_entry { "host.cache.update" } else { "host.cache.create" };
+            // A frame that rewrote an ARP cache is forensic evidence
+            // whether or not a scheme ever alerts on it: pin it so a
+            // capture's timeline can always show the octets behind
+            // every cache mutation.
+            core.tracer.pin_current();
             core.tracer.count(category, 1);
             core.tracer.event(ctx.now().as_nanos(), category, || {
                 (

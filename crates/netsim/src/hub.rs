@@ -1,5 +1,7 @@
 //! A dumb repeating hub.
 
+use arpshield_trace::Tracer;
+
 use crate::device::{Device, DeviceCtx, PortId};
 
 /// A multiport repeater: every ingress frame is copied to every other port.
@@ -14,6 +16,7 @@ pub struct Hub {
     ports: usize,
     /// Frames repeated (each ingress frame counts once regardless of copies).
     pub frames_repeated: u64,
+    tracer: Tracer,
 }
 
 impl Hub {
@@ -24,7 +27,14 @@ impl Hub {
     /// Panics if `ports` is zero.
     pub fn new(name: impl Into<String>, ports: usize) -> Self {
         assert!(ports > 0, "a hub needs at least one port");
-        Hub { name: name.into(), ports, frames_repeated: 0 }
+        Hub { name: name.into(), ports, frames_repeated: 0, tracer: Tracer::disabled() }
+    }
+
+    /// Routes the hub's repeat counter into `tracer`. Per-frame events
+    /// are left to the simulator's flight recorder — a mirror hub
+    /// repeats every LAN frame and would drown the event log.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -39,6 +49,7 @@ impl Device for Hub {
 
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, port: PortId, _frame: &[u8]) {
         self.frames_repeated += 1;
+        self.tracer.count("hub.repeated", 1);
         // Repeat the shared buffer: one allocation total regardless of
         // how many egress copies the repeat fans out to.
         let shared = ctx.incoming_frame().expect("on_frame always carries a frame");

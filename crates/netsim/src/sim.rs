@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Duration;
 
-use arpshield_trace::Tracer;
+use arpshield_trace::{FrameKind, Tracer};
 
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
 use crate::error::NetsimError;
@@ -60,6 +60,9 @@ enum EventKind {
         src: DeviceId,
         src_port: PortId,
         sent_at: SimTime,
+        /// True for impairment-injected duplicate copies, so the
+        /// flight recorder can label them distinctly.
+        dup: bool,
     },
     Timer {
         dst: DeviceId,
@@ -309,39 +312,45 @@ impl Simulator {
                                     src: from,
                                     src_port: port,
                                     sent_at: self.now,
+                                    dup: false,
                                 },
                             );
                             continue;
                         }
                         let fate = impair::fate(&profile, self.impair_seed, key, index, self.now);
                         if fate.lost {
-                            if profile.flap.map(|f| f.is_down(self.now)).unwrap_or(false) {
+                            let flap_down =
+                                profile.flap.map(|f| f.is_down(self.now)).unwrap_or(false);
+                            let (category, kind) = if flap_down {
                                 self.stats.dropped_link_down += 1;
-                                self.run_tracer.count("wire.drop.link_down", 1);
-                                self.run_tracer.event(
-                                    self.now.as_nanos(),
-                                    "wire.drop.link_down",
-                                    || {
-                                        (
-                                            self.devices[from.0].name().to_string(),
-                                            format!("port={} frame_index={index}", port.0),
-                                        )
-                                    },
-                                );
+                                ("wire.drop.link_down", FrameKind::DroppedLinkDown)
                             } else {
                                 self.stats.dropped_lost += 1;
-                                self.run_tracer.count("wire.drop.lost", 1);
-                                self.run_tracer.event(
-                                    self.now.as_nanos(),
-                                    "wire.drop.lost",
-                                    || {
-                                        (
-                                            self.devices[from.0].name().to_string(),
-                                            format!("port={} frame_index={index}", port.0),
-                                        )
-                                    },
-                                );
-                            }
+                                ("wire.drop.lost", FrameKind::DroppedLost)
+                            };
+                            self.run_tracer.count(category, 1);
+                            // Capture the doomed octets, and cite both
+                            // them and (when the send happened inside a
+                            // delivery) the frame that caused the send.
+                            let cause = self.run_tracer.current_frame();
+                            let dropped = self.run_tracer.record_frame(
+                                self.now.as_nanos(),
+                                kind,
+                                &bytes,
+                                || {
+                                    (
+                                        format!("{}:{}", self.devices[from.0].name(), port.0),
+                                        format!("{}:{}", self.devices[peer.0].name(), peer_port.0),
+                                    )
+                                },
+                            );
+                            self.run_tracer.event_frames(self.now.as_nanos(), category, || {
+                                (
+                                    self.devices[from.0].name().to_string(),
+                                    format!("port={} frame_index={index}", port.0),
+                                    dropped.into_iter().chain(cause).collect(),
+                                )
+                            });
                             continue;
                         }
                         let at = self.now + latency + fate.extra_delay;
@@ -357,6 +366,7 @@ impl Simulator {
                                 src: from,
                                 src_port: port,
                                 sent_at: self.now,
+                                dup: false,
                             },
                         );
                         if let Some((dup_at, copy)) = dup {
@@ -371,6 +381,7 @@ impl Simulator {
                                     src: from,
                                     src_port: port,
                                     sent_at: self.now,
+                                    dup: true,
                                 },
                             );
                         }
@@ -394,7 +405,7 @@ impl Simulator {
         debug_assert!(event.at >= self.now, "event queue went backwards");
         self.now = event.at;
         match event.kind {
-            EventKind::Deliver { dst, port, bytes, src, src_port, sent_at } => {
+            EventKind::Deliver { dst, port, bytes, src, src_port, sent_at, dup } => {
                 self.stats.frames += 1;
                 self.stats.bytes += bytes.len() as u64;
                 if let Some(trace) = &mut self.trace {
@@ -409,6 +420,17 @@ impl Simulator {
                         bytes: bytes.clone(),
                     });
                 }
+                let kind = if dup { FrameKind::DuplicateDelivered } else { FrameKind::Delivered };
+                let frame_id =
+                    self.run_tracer.record_frame(self.now.as_nanos(), kind, &bytes, || {
+                        (
+                            format!("{}:{}", self.devices[src.0].name(), src_port.0),
+                            format!("{}:{}", self.devices[dst.0].name(), port.0),
+                        )
+                    });
+                // While this frame is dispatched — including the sends
+                // it triggers — every traced event cites it.
+                self.run_tracer.set_current_frame(frame_id);
                 let mut actions = std::mem::take(&mut self.scratch);
                 {
                     let mut ctx =
@@ -416,6 +438,7 @@ impl Simulator {
                     self.devices[dst.0].on_frame(&mut ctx, port, &bytes);
                 }
                 self.apply_actions(dst, &mut actions);
+                self.run_tracer.set_current_frame(None);
                 self.scratch = actions;
             }
             EventKind::Timer { dst, token } => {

@@ -110,11 +110,31 @@ impl AlertLog {
         self.inner.borrow_mut().tracer = tracer;
     }
 
-    /// Records an alert.
+    /// Records an alert. The capture frame being dispatched (if any)
+    /// is pinned and cited as the verdict's provenance.
     pub fn raise(&self, alert: Alert) {
+        self.raise_with_frames(alert, &[]);
+    }
+
+    /// Records an alert citing extra `evidence` capture frames beyond
+    /// the one currently being dispatched — e.g. the frame that
+    /// established the binding a [`AlertKind::BindingChanged`] verdict
+    /// says was overwritten. Every cited frame is pinned so it
+    /// survives flight-recorder eviction; the triggering frame leads
+    /// the citation list, historical evidence follows.
+    pub fn raise_with_frames(&self, alert: Alert, evidence: &[u64]) {
         let mut inner = self.inner.borrow_mut();
         inner.tracer.count(verdict_counter(alert.kind), 1);
-        inner.tracer.event(alert.at.as_nanos(), "scheme.verdict", || {
+        let mut frames: Vec<u64> = inner.tracer.current_frame().into_iter().collect();
+        for &id in evidence {
+            if !frames.contains(&id) {
+                frames.push(id);
+            }
+        }
+        for &id in &frames {
+            inner.tracer.pin_frame(id);
+        }
+        inner.tracer.event_frames(alert.at.as_nanos(), "scheme.verdict", || {
             let fmt_ip =
                 |ip: Option<Ipv4Addr>| ip.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
             let fmt_mac = |mac: Option<MacAddr>| {
@@ -129,9 +149,17 @@ impl AlertLog {
                     fmt_mac(alert.observed_mac),
                     fmt_mac(alert.expected_mac),
                 ),
+                frames,
             )
         });
         inner.alerts.push(alert);
+    }
+
+    /// Pins the capture frame currently being dispatched (the packet a
+    /// scheme is inspecting) and returns its id, so schemes can keep a
+    /// provenance handle to evidence they may only alert on later.
+    pub fn pin_current_frame(&self) -> Option<u64> {
+        self.inner.borrow().tracer.pin_current()
     }
 
     /// Charges `units` of abstract CPU work to `scheme`.

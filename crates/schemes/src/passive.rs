@@ -30,6 +30,15 @@ impl Default for PassiveConfig {
     }
 }
 
+/// A monitored binding: the believed MAC plus the capture frame that
+/// established the belief (pinned in the flight recorder, so a later
+/// `BindingChanged` verdict can still cite the original octets).
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    mac: MacAddr,
+    frame: Option<u64>,
+}
+
 /// An arpwatch-style sniffer for a switch mirror port.
 ///
 /// It builds a database of IP→MAC pairs from every ARP packet it sees and
@@ -42,7 +51,7 @@ impl Default for PassiveConfig {
 pub struct PassiveMonitor {
     config: PassiveConfig,
     log: AlertLog,
-    db: HashMap<Ipv4Addr, MacAddr>,
+    db: HashMap<Ipv4Addr, Binding>,
     last_alert: HashMap<(Ipv4Addr, MacAddr), SimTime>,
     /// ARP packets inspected.
     pub inspected: u64,
@@ -61,7 +70,7 @@ impl PassiveMonitor {
 
     /// The database's current belief for `ip`.
     pub fn binding(&self, ip: Ipv4Addr) -> Option<MacAddr> {
-        self.db.get(&ip).copied()
+        self.db.get(&ip).map(|b| b.mac)
     }
 
     /// Feeds one observed sender binding into the database, as if the
@@ -72,8 +81,13 @@ impl PassiveMonitor {
             return; // ARP probes carry no binding
         }
         self.log.add_work(SCHEME, work::DB_OP);
-        match self.db.insert(ip, mac) {
+        match self.db.get(&ip).copied() {
             None => {
+                // Pin the frame that establishes the baseline belief:
+                // when poisoning later flips this binding, the verdict
+                // cites these original octets as its evidence.
+                let frame = self.log.pin_current_frame();
+                self.db.insert(ip, Binding { mac, frame });
                 if self.config.alert_on_new_station {
                     self.log.raise(Alert {
                         at: now,
@@ -85,7 +99,9 @@ impl PassiveMonitor {
                     });
                 }
             }
-            Some(previous) if previous != mac => {
+            Some(previous) if previous.mac != mac => {
+                let frame = self.log.pin_current_frame();
+                self.db.insert(ip, Binding { mac, frame });
                 let key = (ip, mac);
                 let throttled = self
                     .last_alert
@@ -94,16 +110,22 @@ impl PassiveMonitor {
                     .unwrap_or(false);
                 if !throttled {
                     self.last_alert.insert(key, now);
-                    self.log.raise(Alert {
-                        at: now,
-                        scheme: SCHEME,
-                        kind: AlertKind::BindingChanged,
-                        subject_ip: Some(ip),
-                        observed_mac: Some(mac),
-                        expected_mac: Some(previous),
-                    });
+                    let evidence: Vec<u64> = previous.frame.into_iter().collect();
+                    self.log.raise_with_frames(
+                        Alert {
+                            at: now,
+                            scheme: SCHEME,
+                            kind: AlertKind::BindingChanged,
+                            subject_ip: Some(ip),
+                            observed_mac: Some(mac),
+                            expected_mac: Some(previous.mac),
+                        },
+                        &evidence,
+                    );
                 }
             }
+            // A same-MAC refresh keeps the frame that first
+            // established the binding: it remains the provenance.
             Some(_) => {}
         }
     }

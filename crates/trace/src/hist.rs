@@ -105,6 +105,34 @@ impl Histogram {
     pub fn nonzero_bins(&self) -> Vec<(usize, u64)> {
         self.bins.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c)).collect()
     }
+
+    /// The tightest `[low, high]` interval the bins can give for the
+    /// `q`-quantile (rank `ceil(q·count)`, clamped to `[1, count]`):
+    /// the containing bucket's range, narrowed by the recorded
+    /// min/max. The exact quantile of the recorded samples always lies
+    /// inside. `None` when empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &occupancy) in self.bins.iter().enumerate() {
+            seen += occupancy;
+            if seen >= rank {
+                let (low, high) = bucket_range(index);
+                return Some((low.max(self.min), high.min(self.max)));
+            }
+        }
+        unreachable!("bin occupancies sum to count")
+    }
+
+    /// The upper bound of [`quantile_bounds`](Histogram::quantile_bounds)
+    /// — the conservative single-number summary exported as
+    /// `p50`/`p90`/`p99`. `None` when empty.
+    pub fn quantile_estimate(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, high)| high)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +152,33 @@ mod tests {
             assert_eq!(bucket_of(lo), b);
             assert_eq!(bucket_of(hi), b);
         }
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_exact_quantiles() {
+        let mut h = Histogram::new();
+        let samples = [3u64, 9, 17, 17, 40, 100, 1000, 5000, 5000, 65000];
+        for v in samples {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 40u64), (0.9, 5000), (0.99, 65000), (0.0, 3), (1.0, 65000)] {
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert!(lo <= exact && exact <= hi, "q={q}: {exact} not in [{lo}, {hi}]");
+            assert_eq!(h.quantile_estimate(q), Some(hi));
+        }
+        // min/max narrow the edge buckets.
+        assert_eq!(h.quantile_bounds(0.0).unwrap().0, 3);
+        assert_eq!(h.quantile_bounds(1.0).unwrap().1, 65000);
+        assert_eq!(Histogram::new().quantile_bounds(0.5), None);
+        assert_eq!(Histogram::new().quantile_estimate(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(777);
+        assert_eq!(h.quantile_bounds(0.5), Some((777, 777)));
+        assert_eq!(h.quantile_estimate(0.99), Some(777));
     }
 
     #[test]

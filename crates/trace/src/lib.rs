@@ -29,13 +29,29 @@
 //! 3. the collector sorts flushed run sections (and warnings) before
 //!    export, erasing job-completion order.
 //!
+//! ## Flight recorder
+//!
+//! When the collector is built with [`TraceCollector::with_capture`],
+//! each run additionally owns a [`FrameRecorder`]: a bounded ring of
+//! raw wire frames (capacity from `ARPSHIELD_RECORD_FRAMES`, default
+//! [`DEFAULT_RECORD_FRAMES`]). The simulator records every
+//! delivered/dropped/duplicated frame and marks the one it is
+//! currently dispatching as the tracer's *current frame*, so every
+//! event recorded during that dispatch — a CAM move, a cache write, a
+//! scheme verdict — cites the exact frame that caused it. Frames cited
+//! by scheme alerts are *pinned* and survive ring eviction. The
+//! [`RunManifest`] exports captures as standard [`pcapng`] plus an
+//! `arpshield-capture/1` JSON index.
+//!
 //! ## Disabled-path cost
 //!
 //! A disabled [`Tracer`] is `Option::None` behind the handle: every
 //! record call is one branch, no allocation, no formatting (event
 //! construction is closure-gated). The `reproduce` binary installs no
-//! collector unless `--trace` is passed, so legacy CSV outputs and
-//! bench numbers are untouched by instrumentation.
+//! collector unless `--trace` or `--capture` is passed, so legacy CSV
+//! outputs and bench numbers are untouched by instrumentation; with
+//! tracing on but capture off, frame recording additionally skips the
+//! octet copy and endpoint formatting entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,9 +60,14 @@ mod collect;
 mod csv;
 mod hist;
 mod json;
+pub mod pcapng;
 mod record;
+mod recorder;
 
 pub use collect::{current, install, InstallGuard, RunManifest, RunSection, TraceCollector};
 pub use csv::csv_escape;
 pub use hist::{bucket_of, bucket_range, Histogram, BUCKETS};
 pub use record::{Event, RunRecorder, Tracer, MAX_EVENTS_PER_RUN};
+pub use recorder::{
+    ring_capacity_from_env, FrameKind, FrameRecorder, RecordedFrame, DEFAULT_RECORD_FRAMES,
+};

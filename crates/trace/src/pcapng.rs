@@ -1,0 +1,382 @@
+//! A hand-rolled pcapng (RFC draft-ietf-opsawg-pcapng) writer and
+//! reader — just the four block types a capture needs, little-endian,
+//! no external dependencies. Files written here open in Wireshark and
+//! tshark; one Interface Description Block per simulated run (named
+//! after the run label, nanosecond timestamp resolution) keeps
+//! multi-run experiment captures in a single file.
+
+/// Section Header Block type.
+const SHB_TYPE: u32 = 0x0A0D_0D0A;
+/// Byte-order magic written (and required) little-endian.
+const BYTE_ORDER_MAGIC: u32 = 0x1A2B_3C4D;
+/// Interface Description Block type.
+const IDB_TYPE: u32 = 0x0000_0001;
+/// Enhanced Packet Block type.
+const EPB_TYPE: u32 = 0x0000_0006;
+/// LINKTYPE_ETHERNET.
+const LINKTYPE_ETHERNET: u16 = 1;
+/// Option codes.
+const OPT_END: u16 = 0;
+const OPT_COMMENT: u16 = 1;
+const OPT_SHB_USERAPPL: u16 = 4;
+const OPT_IF_NAME: u16 = 2;
+const OPT_IF_TSRESOL: u16 = 9;
+
+fn pad4(len: usize) -> usize {
+    (4 - len % 4) % 4
+}
+
+/// Serializes one option (code, raw value padded to 4 bytes).
+fn push_option(body: &mut Vec<u8>, code: u16, value: &[u8]) {
+    body.extend_from_slice(&code.to_le_bytes());
+    body.extend_from_slice(&(value.len() as u16).to_le_bytes());
+    body.extend_from_slice(value);
+    body.extend(std::iter::repeat(0u8).take(pad4(value.len())));
+}
+
+/// Incrementally builds a single-section pcapng file.
+#[derive(Debug)]
+pub struct PcapngWriter {
+    out: Vec<u8>,
+    interfaces: u32,
+}
+
+impl PcapngWriter {
+    /// Starts a file whose Section Header Block names `application` in
+    /// its `shb_userappl` option.
+    pub fn new(application: &str) -> Self {
+        let mut body = Vec::new();
+        body.extend_from_slice(&BYTE_ORDER_MAGIC.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes()); // major version
+        body.extend_from_slice(&0u16.to_le_bytes()); // minor version
+        body.extend_from_slice(&u64::MAX.to_le_bytes()); // section length: unknown
+        push_option(&mut body, OPT_SHB_USERAPPL, application.as_bytes());
+        push_option(&mut body, OPT_END, &[]);
+        let mut writer = PcapngWriter { out: Vec::new(), interfaces: 0 };
+        writer.push_block(SHB_TYPE, &body);
+        writer
+    }
+
+    fn push_block(&mut self, block_type: u32, body: &[u8]) {
+        debug_assert_eq!(body.len() % 4, 0, "block bodies are pre-padded");
+        let total = (body.len() + 12) as u32;
+        self.out.extend_from_slice(&block_type.to_le_bytes());
+        self.out.extend_from_slice(&total.to_le_bytes());
+        self.out.extend_from_slice(body);
+        self.out.extend_from_slice(&total.to_le_bytes());
+    }
+
+    /// Adds an Ethernet interface named `name` with nanosecond
+    /// timestamps and no snap limit; returns its interface id.
+    pub fn add_interface(&mut self, name: &str) -> u32 {
+        let mut body = Vec::new();
+        body.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        body.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        body.extend_from_slice(&0u32.to_le_bytes()); // snaplen: unlimited
+        push_option(&mut body, OPT_IF_NAME, name.as_bytes());
+        push_option(&mut body, OPT_IF_TSRESOL, &[9]); // 10^-9 s
+        push_option(&mut body, OPT_END, &[]);
+        self.push_block(IDB_TYPE, &body);
+        let id = self.interfaces;
+        self.interfaces += 1;
+        id
+    }
+
+    /// Appends one Enhanced Packet Block on `interface` at `ts_ns`
+    /// with `comment` as its `opt_comment`.
+    pub fn add_packet(&mut self, interface: u32, ts_ns: u64, bytes: &[u8], comment: &str) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&interface.to_le_bytes());
+        body.extend_from_slice(&((ts_ns >> 32) as u32).to_le_bytes());
+        body.extend_from_slice(&(ts_ns as u32).to_le_bytes());
+        body.extend_from_slice(&(bytes.len() as u32).to_le_bytes()); // captured
+        body.extend_from_slice(&(bytes.len() as u32).to_le_bytes()); // original
+        body.extend_from_slice(bytes);
+        body.extend(std::iter::repeat(0u8).take(pad4(bytes.len())));
+        if !comment.is_empty() {
+            push_option(&mut body, OPT_COMMENT, comment.as_bytes());
+            push_option(&mut body, OPT_END, &[]);
+        }
+        self.push_block(EPB_TYPE, &body);
+    }
+
+    /// Finishes the file and returns its bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// One decoded packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapngPacket {
+    /// Index into [`PcapngFile::interfaces`].
+    pub interface: usize,
+    /// Timestamp in nanoseconds (scaled from the interface's tsresol).
+    pub ts_ns: u64,
+    /// The captured octets.
+    pub bytes: Vec<u8>,
+    /// The packet's `opt_comment`, empty when absent.
+    pub comment: String,
+}
+
+/// A decoded capture: interface names in id order plus every packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PcapngFile {
+    /// `if_name` per interface, in interface-id order ("" when unnamed).
+    pub interfaces: Vec<String>,
+    /// All Enhanced Packet Blocks, in file order.
+    pub packets: Vec<PcapngPacket>,
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        let end = end.ok_or_else(|| format!("truncated file at offset {}", self.pos))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+}
+
+/// Scans a block's options region for `(code, value)` pairs.
+fn options(mut region: &[u8]) -> Vec<(u16, Vec<u8>)> {
+    let mut found = Vec::new();
+    while region.len() >= 4 {
+        let code = u16::from_le_bytes([region[0], region[1]]);
+        let len = u16::from_le_bytes([region[2], region[3]]) as usize;
+        region = &region[4..];
+        if code == OPT_END || region.len() < len {
+            break;
+        }
+        found.push((code, region[..len].to_vec()));
+        let advance = (len + pad4(len)).min(region.len());
+        region = &region[advance..];
+    }
+    found
+}
+
+/// Nanoseconds per tick for an `if_tsresol` byte: a power of ten when
+/// the MSB is clear, a power of two when set. Sub-nanosecond
+/// resolutions floor to 1 ns per tick.
+fn tsresol_to_ns(tsresol: u8) -> u64 {
+    if tsresol & 0x80 == 0 {
+        let exp = u32::from(tsresol);
+        if exp >= 9 {
+            1
+        } else {
+            10u64.pow(9 - exp)
+        }
+    } else {
+        let exp = u32::from(tsresol & 0x7F);
+        if exp >= 30 {
+            1
+        } else {
+            1_000_000_000u64 >> exp
+        }
+    }
+}
+
+/// Parses a little-endian pcapng capture. Unknown block types are
+/// skipped, which is what lets third-party tools' output (or future
+/// writers) still load.
+pub fn parse(data: &[u8]) -> Result<PcapngFile, String> {
+    let mut r = Reader { data, pos: 0 };
+    let mut file = PcapngFile::default();
+    let mut tsresols: Vec<u8> = Vec::new();
+    let mut seen_shb = false;
+    while r.pos < data.len() {
+        let block_start = r.pos;
+        let block_type = r.u32()?;
+        let total_len = r.u32()? as usize;
+        if total_len < 12 || total_len % 4 != 0 {
+            return Err(format!("bad block length {total_len} at offset {block_start}"));
+        }
+        let body = r.take(total_len - 12)?;
+        let trailer = r.u32()? as usize;
+        if trailer != total_len {
+            return Err(format!("mismatched block trailer at offset {block_start}"));
+        }
+        if !seen_shb {
+            if block_type != SHB_TYPE {
+                return Err("file does not start with a section header block".to_string());
+            }
+            if body.len() < 4 {
+                return Err("truncated section header".to_string());
+            }
+            let magic = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+            if magic != BYTE_ORDER_MAGIC {
+                return Err(format!(
+                    "unsupported byte-order magic {magic:#010x} (expected little-endian)"
+                ));
+            }
+            seen_shb = true;
+            continue;
+        }
+        match block_type {
+            SHB_TYPE => {
+                // A new section: interface ids restart. Single-section
+                // files are all we write; reject the rest loudly.
+                return Err("multi-section pcapng files are not supported".to_string());
+            }
+            IDB_TYPE => {
+                if body.len() < 8 {
+                    return Err("truncated interface description block".to_string());
+                }
+                let opts = options(&body[8..]);
+                let name = opts
+                    .iter()
+                    .find(|(code, _)| *code == OPT_IF_NAME)
+                    .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+                    .unwrap_or_default();
+                let tsresol = opts
+                    .iter()
+                    .find(|(code, _)| *code == OPT_IF_TSRESOL)
+                    .and_then(|(_, v)| v.first().copied())
+                    .unwrap_or(6); // the spec default: microseconds
+                file.interfaces.push(name);
+                tsresols.push(tsresol);
+            }
+            EPB_TYPE => {
+                if body.len() < 20 {
+                    return Err("truncated enhanced packet block".to_string());
+                }
+                let word =
+                    |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("4 bytes"));
+                let interface = word(0) as usize;
+                if interface >= file.interfaces.len() {
+                    return Err(format!("packet references unknown interface {interface}"));
+                }
+                let ts = (u64::from(word(4)) << 32) | u64::from(word(8));
+                let captured = word(12) as usize;
+                if body.len() < 20 + captured {
+                    return Err("packet data exceeds block".to_string());
+                }
+                let bytes = body[20..20 + captured].to_vec();
+                let opts_at = 20 + captured + pad4(captured);
+                let comment = options(&body[opts_at.min(body.len())..])
+                    .into_iter()
+                    .find(|(code, _)| *code == OPT_COMMENT)
+                    .map(|(_, v)| String::from_utf8_lossy(&v).into_owned())
+                    .unwrap_or_default();
+                let ts_ns = ts.saturating_mul(tsresol_to_ns(tsresols[interface]));
+                file.packets.push(PcapngPacket { interface, ts_ns, bytes, comment });
+            }
+            _ => {} // unknown block: skip
+        }
+    }
+    if !seen_shb {
+        return Err("empty capture".to_string());
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The writer's exact framing, byte for byte — the on-disk format
+    /// is a public contract with Wireshark/tshark, so it is pinned as
+    /// golden bytes, not just round-tripped.
+    #[test]
+    fn golden_bytes_shb_idb_epb() {
+        let mut w = PcapngWriter::new("app");
+        let iface = w.add_interface("run-a");
+        assert_eq!(iface, 0);
+        w.add_packet(0, 0x1_0000_0001, &[0xAA, 0xBB, 0xCC], "c");
+        let bytes = w.finish();
+
+        // --- SHB ---
+        assert_eq!(&bytes[0..4], &[0x0A, 0x0D, 0x0D, 0x0A], "SHB block type");
+        let shb_len = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        assert_eq!(&bytes[8..12], &[0x4D, 0x3C, 0x2B, 0x1A], "little-endian byte-order magic");
+        assert_eq!(&bytes[12..16], &[1, 0, 0, 0], "version 1.0");
+        assert_eq!(&bytes[16..24], &[0xFF; 8], "section length unknown");
+        // shb_userappl option: code 4, len 3, "app" + 1 pad byte.
+        assert_eq!(&bytes[24..32], &[4, 0, 3, 0, b'a', b'p', b'p', 0]);
+        assert_eq!(&bytes[32..36], &[0, 0, 0, 0], "opt_endofopt");
+        assert_eq!(
+            u32::from_le_bytes(bytes[shb_len - 4..shb_len].try_into().unwrap()) as usize,
+            shb_len,
+            "trailing block length mirrors the leading one"
+        );
+        assert_eq!(shb_len, 40);
+
+        // --- IDB ---
+        let idb = &bytes[shb_len..];
+        assert_eq!(&idb[0..4], &[1, 0, 0, 0], "IDB block type");
+        let idb_len = u32::from_le_bytes(idb[4..8].try_into().unwrap()) as usize;
+        assert_eq!(&idb[8..10], &[1, 0], "LINKTYPE_ETHERNET");
+        assert_eq!(&idb[10..12], &[0, 0], "reserved");
+        assert_eq!(&idb[12..16], &[0, 0, 0, 0], "snaplen unlimited");
+        // if_name: code 2, len 5, "run-a" + 3 pad.
+        assert_eq!(&idb[16..28], &[2, 0, 5, 0, b'r', b'u', b'n', b'-', b'a', 0, 0, 0]);
+        // if_tsresol: code 9, len 1, value 9 (nanoseconds) + 3 pad.
+        assert_eq!(&idb[28..36], &[9, 0, 1, 0, 9, 0, 0, 0]);
+        assert_eq!(&idb[36..40], &[0, 0, 0, 0], "opt_endofopt");
+        assert_eq!(idb_len, 44);
+
+        // --- EPB ---
+        let epb = &idb[idb_len..];
+        assert_eq!(&epb[0..4], &[6, 0, 0, 0], "EPB block type");
+        let epb_len = u32::from_le_bytes(epb[4..8].try_into().unwrap()) as usize;
+        assert_eq!(&epb[8..12], &[0, 0, 0, 0], "interface id 0");
+        assert_eq!(u32::from_le_bytes(epb[12..16].try_into().unwrap()), 1, "timestamp high");
+        assert_eq!(u32::from_le_bytes(epb[16..20].try_into().unwrap()), 1, "timestamp low");
+        assert_eq!(u32::from_le_bytes(epb[20..24].try_into().unwrap()), 3, "captured length");
+        assert_eq!(u32::from_le_bytes(epb[24..28].try_into().unwrap()), 3, "original length");
+        assert_eq!(&epb[28..32], &[0xAA, 0xBB, 0xCC, 0], "data padded to 4");
+        assert_eq!(&epb[32..40], &[1, 0, 1, 0, b'c', 0, 0, 0], "opt_comment");
+        assert_eq!(&epb[40..44], &[0, 0, 0, 0], "opt_endofopt");
+        assert_eq!(epb_len, 48);
+        assert_eq!(bytes.len(), shb_len + idb_len + epb_len);
+    }
+
+    #[test]
+    fn roundtrip_multiple_interfaces() {
+        let mut w = PcapngWriter::new("arpshield");
+        let a = w.add_interface("run a");
+        let b = w.add_interface("run b");
+        w.add_packet(a, 42, &[1, 2, 3, 4, 5, 6], "id=1 kind=deliver");
+        w.add_packet(b, u64::from(u32::MAX) + 7, &[9; 60], "");
+        w.add_packet(a, 43, &[7, 8], "id=2 kind=drop.lost pinned");
+        let file = parse(&w.finish()).unwrap();
+        assert_eq!(file.interfaces, vec!["run a".to_string(), "run b".to_string()]);
+        assert_eq!(file.packets.len(), 3);
+        assert_eq!(file.packets[0].interface, 0);
+        assert_eq!(file.packets[0].ts_ns, 42);
+        assert_eq!(file.packets[0].bytes, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(file.packets[0].comment, "id=1 kind=deliver");
+        assert_eq!(file.packets[1].interface, 1);
+        assert_eq!(file.packets[1].ts_ns, u64::from(u32::MAX) + 7, "64-bit timestamps survive");
+        assert_eq!(file.packets[1].comment, "");
+        assert_eq!(file.packets[2].comment, "id=2 kind=drop.lost pinned");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&[0u8; 16]).is_err(), "not an SHB");
+        let mut w = PcapngWriter::new("x");
+        w.add_interface("i");
+        let mut bytes = w.finish();
+        bytes.truncate(bytes.len() - 2);
+        assert!(parse(&bytes).is_err(), "truncated trailer must not parse");
+    }
+
+    #[test]
+    fn microsecond_tsresol_scales() {
+        assert_eq!(tsresol_to_ns(9), 1);
+        assert_eq!(tsresol_to_ns(6), 1_000);
+        assert_eq!(tsresol_to_ns(0), 1_000_000_000);
+        assert_eq!(tsresol_to_ns(0x80 | 10), 976_562, "2^-10 s in whole ns");
+    }
+}

@@ -10,10 +10,11 @@ use std::sync::Arc;
 use crate::collect::{self, RunSection, TraceCollector};
 use crate::hist::Histogram;
 use crate::json::quote;
+use crate::recorder::{FrameKind, FrameRecorder};
 
 /// One structured trace event, stamped with simulated nanoseconds
 /// (never wall clock).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Event {
     /// Simulation time of the event, in nanoseconds since run start.
     pub at_ns: u64,
@@ -23,6 +24,10 @@ pub struct Event {
     pub actor: String,
     /// Human-readable evidence: what was observed and why it mattered.
     pub detail: String,
+    /// Capture frame ids this event cites: the frame whose dispatch
+    /// produced it, plus any explicit evidence frames. Empty unless a
+    /// capture is active.
+    pub frames: Vec<u64>,
 }
 
 /// Hard cap on stored events per run. Runs past the cap keep counting
@@ -42,6 +47,12 @@ pub struct RunRecorder {
     histograms: BTreeMap<&'static str, Histogram>,
     events: Vec<Event>,
     events_truncated: u64,
+    /// The flight recorder, present only when the collector was built
+    /// with [`TraceCollector::with_capture`].
+    frames: Option<FrameRecorder>,
+    /// The frame currently being dispatched by the simulator; events
+    /// recorded while it is set cite it automatically.
+    current_frame: Option<u64>,
     collector: Arc<TraceCollector>,
 }
 
@@ -53,6 +64,8 @@ impl RunRecorder {
             histograms: BTreeMap::new(),
             events: Vec::new(),
             events_truncated: 0,
+            frames: collector.capture_capacity().map(FrameRecorder::new),
+            current_frame: None,
             collector,
         }
     }
@@ -84,12 +97,16 @@ impl RunRecorder {
             }
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"bins\":[",
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{},\"bins\":[",
                 quote(name),
                 hist.count(),
                 hist.sum(),
                 hist.min().unwrap_or(0),
                 hist.max().unwrap_or(0),
+                hist.quantile_estimate(0.50).unwrap_or(0),
+                hist.quantile_estimate(0.90).unwrap_or(0),
+                hist.quantile_estimate(0.99).unwrap_or(0),
             );
             for (j, (bucket, count)) in hist.nonzero_bins().iter().enumerate() {
                 if j > 0 {
@@ -106,12 +123,25 @@ impl RunRecorder {
             }
             let _ = write!(
                 out,
-                "{{\"at_ns\":{},\"category\":{},\"actor\":{},\"detail\":{}}}",
+                "{{\"at_ns\":{},\"category\":{},\"actor\":{},\"detail\":{}",
                 ev.at_ns,
                 quote(ev.category),
                 quote(&ev.actor),
                 quote(&ev.detail),
             );
+            // Emitted only when present, so manifests without an
+            // active capture stay byte-identical to older ones.
+            if !ev.frames.is_empty() {
+                out.push_str(",\"frames\":[");
+                for (k, id) in ev.frames.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{id}");
+                }
+                out.push(']');
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -120,10 +150,21 @@ impl RunRecorder {
 
 impl Drop for RunRecorder {
     fn drop(&mut self) {
+        // Serialize before moving the structured fields out: the body
+        // is part of the section's deterministic sort key.
+        let body = self.to_json();
+        let (frames, frames_evicted) = match self.frames.take() {
+            Some(recorder) => recorder.into_frames(),
+            None => (Vec::new(), 0),
+        };
         let section = RunSection {
             label: self.label.clone(),
             counters: self.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-            body: self.to_json(),
+            histograms: self.histograms.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+            events: std::mem::take(&mut self.events),
+            frames,
+            frames_evicted,
+            body,
         };
         self.collector.push_section(section);
     }
@@ -227,8 +268,129 @@ impl Tracer {
     #[inline(never)]
     fn event_impl(&self, at_ns: u64, category: &'static str, (actor, detail): (String, String)) {
         if let Some(inner) = &self.inner {
-            inner.borrow_mut().push_event(Event { at_ns, category, actor, detail });
+            let mut rec = inner.borrow_mut();
+            let frames = rec.current_frame.into_iter().collect();
+            rec.push_event(Event { at_ns, category, actor, detail, frames });
         }
+    }
+
+    /// Like [`event`](Tracer::event), but with an explicit list of
+    /// capture frame ids the event cites (the closure builds
+    /// `(actor, detail, frames)`); the current frame is *not* attached
+    /// implicitly, so callers control the citation order. Used by the
+    /// wire-drop and scheme-verdict paths.
+    #[inline(always)]
+    pub fn event_frames(
+        &self,
+        at_ns: u64,
+        category: &'static str,
+        make: impl FnOnce() -> (String, String, Vec<u64>),
+    ) {
+        if self.inner.is_some() {
+            self.event_frames_impl(at_ns, category, make());
+        }
+    }
+
+    #[inline(never)]
+    fn event_frames_impl(
+        &self,
+        at_ns: u64,
+        category: &'static str,
+        (actor, detail, frames): (String, String, Vec<u64>),
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().push_event(Event { at_ns, category, actor, detail, frames });
+        }
+    }
+
+    /// Records one wire frame into the run's flight recorder and
+    /// returns its capture id. The `(src, dst)` endpoint strings are
+    /// built by the closure — and the octets copied — only when a
+    /// capture is actually active; with tracing on but capture off
+    /// this still costs nothing beyond the borrow, and returns `None`.
+    #[inline(always)]
+    pub fn record_frame(
+        &self,
+        at_ns: u64,
+        kind: FrameKind,
+        bytes: &[u8],
+        make: impl FnOnce() -> (String, String),
+    ) -> Option<u64> {
+        if self.inner.is_some() {
+            self.record_frame_impl(at_ns, kind, bytes, make)
+        } else {
+            None
+        }
+    }
+
+    #[inline(never)]
+    fn record_frame_impl(
+        &self,
+        at_ns: u64,
+        kind: FrameKind,
+        bytes: &[u8],
+        make: impl FnOnce() -> (String, String),
+    ) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut rec = inner.borrow_mut();
+        let recorder = rec.frames.as_mut()?;
+        let (src, dst) = make();
+        Some(recorder.record(at_ns, kind, src, dst, bytes))
+    }
+
+    /// Sets (or clears) the frame the simulator is currently
+    /// dispatching. While set, every plain [`event`](Tracer::event)
+    /// cites it — which is how CAM updates, cache writes, and scheme
+    /// verdicts acquire provenance without any call-site changes.
+    #[inline(always)]
+    pub fn set_current_frame(&self, frame: Option<u64>) {
+        if self.inner.is_some() {
+            self.set_current_frame_impl(frame);
+        }
+    }
+
+    #[inline(never)]
+    fn set_current_frame_impl(&self, frame: Option<u64>) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().current_frame = frame;
+        }
+    }
+
+    /// The capture id of the frame currently being dispatched, if any.
+    pub fn current_frame(&self) -> Option<u64> {
+        self.inner.as_ref().and_then(|inner| inner.borrow().current_frame)
+    }
+
+    /// Pins capture frame `id` so it survives ring eviction. A no-op
+    /// without an active capture.
+    pub fn pin_frame(&self, id: u64) {
+        if let Some(inner) = &self.inner {
+            if let Some(recorder) = inner.borrow_mut().frames.as_mut() {
+                recorder.pin(id);
+            }
+        }
+    }
+
+    /// Pins the frame currently being dispatched and returns its id —
+    /// the one-liner for "this frame just became evidence".
+    #[inline(always)]
+    pub fn pin_current(&self) -> Option<u64> {
+        if self.inner.is_some() {
+            self.pin_current_impl()
+        } else {
+            None
+        }
+    }
+
+    #[inline(never)]
+    fn pin_current_impl(&self) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let mut rec = inner.borrow_mut();
+        let id = rec.current_frame?;
+        if let Some(recorder) = rec.frames.as_mut() {
+            recorder.pin(id);
+        }
+        Some(id)
     }
 }
 

@@ -6,8 +6,10 @@
 #
 # Steps: rustfmt check, release build, full test suite, a smoke run of
 # the t5r loss-resilience sweep, a `--trace` smoke (manifest emission +
-# validation), and a one-iteration smoke run of every bench (which also
-# exercises the results/bench/*.json emission path).
+# validation), a `--capture` smoke (pcapng + index emission, forensic
+# `inspect` timeline with verdict provenance), and a one-iteration smoke
+# run of every bench (which also exercises the results/bench/*.json
+# emission path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,8 +38,27 @@ trace_out="$(mktemp -d)"
 test -s "$trace_out/t2.csv"
 test -s "$trace_out/trace/t2.json"
 test -s "$trace_out/trace/t2.csv"
+test -s "$trace_out/trace/t2.hist.csv"
 ./target/release/reproduce validate-trace "$trace_out/trace/t2.json"
+# The directory form must find and validate the same manifest.
+./target/release/reproduce validate-trace "$trace_out/trace"
 rm -rf "$trace_out"
+
+echo "==> reproduce --capture smoke (pcapng + index + inspect timeline)"
+capture_out="$(mktemp -d)"
+ARPSHIELD_RECORD_FRAMES=256 ./target/release/reproduce --capture t2 t3 \
+    --out "$capture_out" >/dev/null
+for id in t2 t3; do
+    test -s "$capture_out/capture/$id.pcapng"
+    test -s "$capture_out/capture/$id.index.json"
+done
+./target/release/reproduce inspect "$capture_out/capture/t2.pcapng" >/dev/null
+# t3 runs defended cells: the timeline must surface verdicts with their
+# pinned provenance frames.
+./target/release/reproduce inspect "$capture_out/capture/t3.pcapng" \
+    --verdict binding_changed >"$capture_out/t3.timeline"
+grep -q "scheme.verdict" "$capture_out/t3.timeline"
+rm -rf "$capture_out"
 
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline

@@ -521,6 +521,29 @@ mod trace_invariants {
             prop_assert_eq!(&left, &hist(&all));
         }
 
+        /// The 65-bin histogram's quantile bounds always bracket the
+        /// exact sample quantile (nearest-rank definition), and the
+        /// exported p50/p90/p99 estimate is the bracket's upper bound.
+        #[test]
+        fn histogram_quantiles_bracket_exact(samples in collection::vec(any::<u64>(), 1..400)) {
+            let mut h = Histogram::new();
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let exact = sorted[rank - 1];
+                let (lo, hi) = h.quantile_bounds(q).unwrap();
+                prop_assert!(
+                    lo <= exact && exact <= hi,
+                    "q={} exact={} outside bounds [{}, {}]", q, exact, lo, hi
+                );
+                prop_assert_eq!(h.quantile_estimate(q), Some(hi));
+            }
+        }
+
         #[test]
         fn counter_total_merge_is_order_independent(
             counts in collection::vec((0u8..4, 0u64..1_000_000), 0..30),
