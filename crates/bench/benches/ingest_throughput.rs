@@ -1,0 +1,132 @@
+//! Streaming-ingest throughput: pcapng blocks off a `Read` source,
+//! through the zero-copy `EthernetView` parse, into a standalone
+//! passive detector — the `reproduce ingest` hot path end to end.
+//!
+//! The workload is a synthetic in-memory capture of gratuitous ARP
+//! traffic (every fourth frame 802.1Q-tagged, a handful of binding
+//! flips so the detector raises a realistic trickle of alerts). The
+//! acceptance floor for this path is one million frames per second
+//! sustained; alongside the timing this bench counts heap allocations
+//! per ingested frame with a counting global allocator and writes them
+//! to `results/bench/ingest_throughput_allocs.json`, pinning the
+//! near-zero-allocation claim the borrowed-view parse makes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use arpshield_netsim::SimTime;
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+use arpshield_schemes::{Detector, SchemeKind};
+use arpshield_testkit::{json, Criterion, Throughput};
+use arpshield_trace::pcapng::{PcapngStream, PcapngWriter};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const FRAMES: u64 = 16_384;
+const HOSTS: u32 = 64;
+const FLIPS: u64 = 8;
+
+/// A capture of `FRAMES` gratuitous ARP announcements from `HOSTS`
+/// stable bindings, with `FLIPS` frames claiming a foreign MAC (the
+/// poisonings the detector should flag) and every fourth frame tagged.
+fn synthetic_capture() -> Vec<u8> {
+    let mut writer = PcapngWriter::new("arpshield-bench");
+    let interface = writer.add_interface("synthetic");
+    for i in 0..FRAMES {
+        let host = (i as u32) % HOSTS;
+        let ip = Ipv4Addr::new(10, 0, (host >> 8) as u8, host as u8);
+        let flip = i % (FRAMES / FLIPS) == FRAMES / FLIPS - 1;
+        let mac = if flip { MacAddr::from_index(0xBAD) } else { MacAddr::from_index(host) };
+        let arp = ArpPacket::gratuitous(ArpOp::Reply, mac, ip);
+        let mut eth = EthernetFrame::new(MacAddr::BROADCAST, mac, EtherType::ARP, arp.encode());
+        if i % 4 == 0 {
+            eth = eth.with_vlan(100);
+        }
+        writer.add_packet(interface, i * 1_000, &eth.encode(), "");
+    }
+    writer.finish()
+}
+
+/// Streams the capture through a fresh passive detector; returns frames
+/// ingested (checked against `FRAMES` so the workload can't silently
+/// shrink).
+fn ingest(capture: &[u8]) -> u64 {
+    let mut stream = PcapngStream::new(capture);
+    let mut detector = Detector::new(SchemeKind::Passive).expect("passive is supported");
+    while let Some(pkt) = stream.next_packet().expect("synthetic capture is well-formed") {
+        detector.observe(SimTime::from_nanos(pkt.ts_ns), pkt.bytes);
+    }
+    detector.finish();
+    let stats = detector.stats();
+    assert_eq!(stats.frames, FRAMES, "every frame must reach the detector");
+    assert_eq!(stats.unparseable, 0);
+    assert_eq!(stats.vlan_tagged, FRAMES.div_ceil(4));
+    assert!(!detector.alerts().is_empty(), "the flips must be flagged");
+    stats.frames
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let capture = synthetic_capture();
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements(FRAMES));
+    group.bench_function("passive/synthetic16k", |b| b.iter(|| ingest(&capture)));
+    group.finish();
+}
+
+fn write_alloc_report() {
+    let capture = synthetic_capture();
+    // Warm once so lazy one-time allocations don't pollute the count.
+    let frames = ingest(&capture);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let again = ingest(&capture);
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert_eq!(frames, again, "workload must be deterministic");
+    let per_frame = allocs as f64 / frames as f64;
+    println!(
+        "ingest_throughput/passive  {allocs} allocations / {frames} frames = {per_frame:.4} \
+         allocs/frame"
+    );
+    let mut obj = BTreeMap::new();
+    obj.insert("id".to_string(), json::Value::Str("passive/synthetic16k".to_string()));
+    obj.insert("allocations".to_string(), json::Value::Num(allocs as f64));
+    obj.insert("frames_ingested".to_string(), json::Value::Num(frames as f64));
+    obj.insert("allocs_per_frame".to_string(), json::Value::Num(per_frame));
+    let mut doc = BTreeMap::new();
+    doc.insert("schema".to_string(), json::Value::Str("arpshield-allocs-v1".to_string()));
+    doc.insert("results".to_string(), json::Value::Arr(vec![json::Value::Obj(obj)]));
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let dir = root.join("results").join("bench");
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join("ingest_throughput_allocs.json");
+    let mut text = json::Value::Obj(doc).to_string();
+    text.push('\n');
+    match std::fs::write(&path, text) {
+        Ok(()) => println!("alloc report written to {}", path.display()),
+        Err(e) => eprintln!("failed to write alloc report: {e}"),
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_ingest(&mut criterion);
+    criterion.final_summary();
+    write_alloc_report();
+}

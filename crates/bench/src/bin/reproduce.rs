@@ -8,6 +8,7 @@
 //! reproduce --capture t2      # additionally write results/capture/t2.{pcapng,index.json}
 //! reproduce validate-trace P… # check trace manifests (files and/or directories) and exit
 //! reproduce inspect FILE      # decode a .pcapng capture into a forensic timeline
+//! reproduce ingest FILE…      # stream captures through the schemes as online detectors
 //! ```
 //!
 //! `--trace` installs a per-experiment trace collector around each
@@ -23,9 +24,18 @@
 //! `inspect` joins a capture with its `.index.json` sidecar into a
 //! per-run timeline interleaving frames, cache/CAM mutations, and
 //! scheme verdicts; `--host S`, `--mac S`, and `--verdict S` narrow it.
+//!
+//! `ingest` streams pcapng files (arpshield's own or foreign ones) in
+//! constant memory through any monitor-class scheme running standalone.
+//! `--scheme K` picks detectors (default: all supported), `--vantage S`
+//! replays only frames a live run delivered to device `S` — from a
+//! monitor's vantage point this reproduces the live run's verdict
+//! counters byte-for-byte — and `--capture` re-records the ingested
+//! frames with the new detectors' alert provenance.
 
 use std::collections::HashMap;
 use std::fs;
+use std::io::{BufReader, Read};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
@@ -36,8 +46,11 @@ use arpshield_core::experiment::{
     t5_cost, t5_resilience, t6_dos_coverage,
 };
 use arpshield_core::{taxonomy, Series, Table};
+use arpshield_netsim::SimTime;
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame};
-use arpshield_trace::TraceCollector;
+use arpshield_schemes::{Detector, SchemeKind};
+use arpshield_trace::pcapng::PcapngStream;
+use arpshield_trace::{TraceCollector, Tracer};
 
 const SEED: u64 = 20070625; // the venue's year, as a nod
 
@@ -513,6 +526,260 @@ fn run_inspect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// `ingest`: streaming capture replay through standalone detectors.
+// ---------------------------------------------------------------------
+
+const INGEST_USAGE: &str = "usage: reproduce ingest FILE... [--stdin] [--scheme K]... \
+     [--vantage S] [--out DIR] [--capture]";
+
+struct IngestOptions {
+    sources: Vec<String>,
+    stdin: bool,
+    schemes: Vec<SchemeKind>,
+    vantage: Option<String>,
+    out_dir: PathBuf,
+    capture: bool,
+}
+
+fn parse_ingest_args(args: &[String]) -> Result<IngestOptions, String> {
+    let mut opts = IngestOptions {
+        sources: Vec::new(),
+        stdin: false,
+        schemes: Vec::new(),
+        vantage: None,
+        out_dir: PathBuf::from("results"),
+        capture: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value =
+            |name: &str| it.next().map(|v| v.to_string()).ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--stdin" => opts.stdin = true,
+            "--capture" => opts.capture = true,
+            "--vantage" => opts.vantage = Some(flag_value("--vantage")?),
+            "--out" => opts.out_dir = PathBuf::from(flag_value("--out")?),
+            "--scheme" => {
+                let label = flag_value("--scheme")?;
+                let kind = SchemeKind::from_label(&label)
+                    .ok_or_else(|| format!("unknown scheme {label:?}"))?;
+                if !Detector::is_supported(kind) {
+                    return Err(format!(
+                        "scheme '{label}' cannot run as a standalone detector; supported: {}",
+                        supported_labels().join(", ")
+                    ));
+                }
+                opts.schemes.push(kind);
+            }
+            other if !other.starts_with('-') => opts.sources.push(other.to_string()),
+            other => return Err(format!("unexpected argument {other:?}\n{INGEST_USAGE}")),
+        }
+    }
+    if opts.sources.is_empty() && !opts.stdin {
+        return Err(INGEST_USAGE.to_string());
+    }
+    if opts.schemes.is_empty() {
+        opts.schemes = Detector::supported();
+    }
+    Ok(opts)
+}
+
+fn supported_labels() -> Vec<&'static str> {
+    Detector::supported().iter().map(|k| k.label()).collect()
+}
+
+/// Streams one pcapng source through a detector per (capture run ×
+/// scheme), printing per-run verdicts and whole-source throughput.
+/// Detectors are created lazily on the first frame that passes the
+/// vantage filter, so capture runs that never touched the requested
+/// vantage point contribute no runs to the manifest.
+fn ingest_source(
+    name: &str,
+    input: &mut dyn Read,
+    opts: &IngestOptions,
+) -> Result<(u64, u64), String> {
+    let stem = Path::new(name)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| name.to_string());
+    let started = Instant::now();
+    let mut stream = PcapngStream::new(input);
+    let mut detectors: HashMap<(usize, usize), Detector> = HashMap::new();
+    let mut filtered = 0u64;
+    // Reused scratch so the per-frame copy out of the stream's block
+    // buffer never allocates in steady state.
+    let mut frame = Vec::new();
+    let mut comment = String::new();
+    loop {
+        let (interface, ts_ns) = match stream.next_packet() {
+            Err(e) => return Err(format!("{name}: {e}")),
+            Ok(None) => break,
+            Ok(Some(pkt)) => {
+                frame.clear();
+                frame.extend_from_slice(pkt.bytes);
+                comment.clear();
+                comment.push_str(pkt.comment);
+                (pkt.interface, pkt.ts_ns)
+            }
+        };
+        let (_, _, src, dst, _) = parse_frame_comment(&comment);
+        if let Some(vantage) = &opts.vantage {
+            // Foreign captures have no arpshield comments; everything
+            // they hold is "what the detector saw".
+            if !comment.is_empty() && !dst.contains(vantage.as_str()) {
+                filtered += 1;
+                continue;
+            }
+        }
+        let at = SimTime::from_nanos(ts_ns);
+        let run_label = stream
+            .interfaces()
+            .get(interface)
+            .filter(|l| !l.is_empty())
+            .cloned()
+            .unwrap_or_else(|| format!("if{interface}"));
+        for (index, kind) in opts.schemes.iter().enumerate() {
+            let detector = detectors.entry((interface, index)).or_insert_with(|| {
+                Detector::with_tracer(
+                    *kind,
+                    Tracer::for_current_run(format!(
+                        "ingest={stem} detector={kind} run={run_label}"
+                    )),
+                )
+                .expect("scheme support validated at argument parse")
+            });
+            let (src, dst) = if comment.is_empty() {
+                ("wire", "detector")
+            } else {
+                (src.as_str(), dst.as_str())
+            };
+            detector.observe_from(at, &frame, src, dst);
+        }
+    }
+    for warning in stream.warnings() {
+        eprintln!("warning: {name}: {warning}");
+        if let Some(collector) = arpshield_trace::current() {
+            collector.warn(format!("{name}: {warning}"));
+        }
+    }
+    let stats = stream.stats();
+    let mut runs: Vec<_> = detectors.into_iter().collect();
+    runs.sort_by_key(|((interface, scheme), _)| (*interface, *scheme));
+    println!(
+        "== ingest: {name} ({} section(s), {} block(s), {} packet(s), {} unknown block(s)) ==",
+        stats.sections, stats.blocks, stats.packets, stats.unknown_blocks
+    );
+    if filtered > 0 {
+        let vantage = opts.vantage.as_deref().unwrap_or_default();
+        println!(
+            "  vantage '{vantage}': {filtered} frame(s) recorded at other vantage points skipped"
+        );
+    }
+    for ((interface, _), detector) in &mut runs {
+        detector.finish();
+        let ingest = detector.stats();
+        let label = stream
+            .interfaces()
+            .get(*interface)
+            .filter(|l| !l.is_empty())
+            .cloned()
+            .unwrap_or_else(|| format!("if{interface}"));
+        let verdicts = detector
+            .verdict_histogram()
+            .into_iter()
+            .map(|(kind, n)| format!("{kind}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "  run {label}  detector={}  frames={} arp={} vlan={} jumbo={} unparseable={} \
+             denied={} probes={}  alerts={}{}",
+            detector.kind(),
+            ingest.frames,
+            ingest.arp,
+            ingest.vlan_tagged,
+            ingest.jumbo,
+            ingest.unparseable,
+            ingest.denied,
+            ingest.probes_emitted,
+            detector.alerts().len(),
+            if verdicts.is_empty() { String::new() } else { format!("  [{verdicts}]") },
+        );
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "  {} packet(s), {} byte(s) in {:.3}s: {:.0} frames/s, {:.1} MB/s\n",
+        stats.packets,
+        stats.bytes,
+        elapsed,
+        stats.packets as f64 / elapsed,
+        stats.bytes as f64 / elapsed / 1e6,
+    );
+    // Dropping the detectors flushes their run sections into the
+    // installed collector, making them visible to `manifest`.
+    drop(runs);
+    Ok((stats.packets, filtered))
+}
+
+fn run_ingest(args: &[String]) -> Result<(), String> {
+    let opts = parse_ingest_args(args)?;
+    let collector = Arc::new(if opts.capture {
+        let (capacity, warning) = arpshield_trace::ring_capacity_from_env();
+        if let Some(w) = warning {
+            eprintln!("warning: {w}");
+        }
+        TraceCollector::with_capture(capacity)
+    } else {
+        TraceCollector::new()
+    });
+    let _guard = arpshield_trace::install(collector.clone());
+    println!(
+        "arpshield capture ingest: scheme(s) [{}] as online detector(s)\n",
+        opts.schemes.iter().map(|k| k.label()).collect::<Vec<_>>().join(", ")
+    );
+    let (mut packets, mut filtered) = (0u64, 0u64);
+    for source in &opts.sources {
+        let file = fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+        let mut reader = BufReader::new(file);
+        let (p, f) = ingest_source(source, &mut reader, &opts)?;
+        packets += p;
+        filtered += f;
+    }
+    if opts.stdin {
+        let stdin = std::io::stdin();
+        let mut reader = stdin.lock();
+        let (p, f) = ingest_source("stdin", &mut reader, &opts)?;
+        packets += p;
+        filtered += f;
+    }
+    let manifest = collector.manifest("ingest");
+    let out =
+        Output { out_dir: opts.out_dir.clone(), trace: true, capture: opts.capture.then_some(0) };
+    out.write_artifacts(
+        "trace",
+        &[
+            ("ingest.json".to_string(), manifest.to_json().into_bytes()),
+            ("ingest.csv".to_string(), manifest.to_counters_csv().into_bytes()),
+            ("ingest.hist.csv".to_string(), manifest.to_histograms_csv().into_bytes()),
+        ],
+    );
+    if opts.capture {
+        out.write_artifacts(
+            "capture",
+            &[
+                ("ingest.pcapng".to_string(), manifest.to_pcapng()),
+                ("ingest.index.json".to_string(), manifest.to_capture_index().into_bytes()),
+            ],
+        );
+    }
+    println!(
+        "{} packet(s) ingested ({filtered} filtered by vantage); manifest: {}",
+        packets,
+        out.out_dir.join("trace").join("ingest.json").display(),
+    );
+    Ok(())
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -526,6 +793,16 @@ fn main() {
 
     if args.first().map(String::as_str) == Some("inspect") {
         match run_inspect(&args[1..]) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(if e.starts_with("usage:") { 2 } else { 1 });
+            }
+        }
+    }
+
+    if args.first().map(String::as_str) == Some("ingest") {
+        match run_ingest(&args[1..]) {
             Ok(()) => return,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -46,6 +46,7 @@ mod hub;
 mod impair;
 mod rng;
 mod sim;
+mod standalone;
 mod switch;
 mod time;
 mod trace;
@@ -57,6 +58,7 @@ pub use hub::Hub;
 pub use impair::{FlapSchedule, LinkProfile};
 pub use rng::SimRng;
 pub use sim::{Simulator, WireStats};
+pub use standalone::StandaloneDriver;
 pub use switch::{
     CamEntry, CamTable, FailMode, FrameInspector, InspectVerdict, PortSecurityConfig, Switch,
     SwitchConfig, SwitchHandle, SwitchStats, ViolationAction,

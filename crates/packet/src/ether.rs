@@ -11,6 +11,8 @@ pub const ETHERNET_HEADER_LEN: usize = 14;
 pub const ETHERNET_MIN_PAYLOAD: usize = 46;
 /// Maximum standard payload length (no jumbo frames).
 pub const ETHERNET_MAX_PAYLOAD: usize = 1500;
+/// Length of one 802.1Q/802.1ad tag (TPID + TCI).
+pub const ETHERNET_VLAN_TAG_LEN: usize = 4;
 
 /// The EtherType field of an Ethernet II frame.
 ///
@@ -31,6 +33,14 @@ pub enum EtherType {
     /// TARP, the ticket-based authenticated ARP variant (IEEE 802 local
     /// experimental 2, `0x88b6`).
     Tarp,
+    /// 802.1Q VLAN tag (`0x8100`). Parsers treat this as a tag to unwrap,
+    /// not a payload protocol; it only appears as a frame's `ethertype`
+    /// when the tag itself is truncated.
+    Vlan,
+    /// 802.1ad provider (QinQ) tag (`0x88a8`), unwrapped like [`Vlan`].
+    ///
+    /// [`Vlan`]: EtherType::Vlan
+    QinQ,
     /// Any other value, carried through verbatim.
     Other(u16),
 }
@@ -43,6 +53,8 @@ impl EtherType {
             EtherType::ARP => 0x0806,
             EtherType::SArp => 0x88b5,
             EtherType::Tarp => 0x88b6,
+            EtherType::Vlan => 0x8100,
+            EtherType::QinQ => 0x88a8,
             EtherType::Other(v) => v,
         }
     }
@@ -54,8 +66,16 @@ impl EtherType {
             0x0806 => EtherType::ARP,
             0x88b5 => EtherType::SArp,
             0x88b6 => EtherType::Tarp,
+            0x8100 => EtherType::Vlan,
+            0x88a8 => EtherType::QinQ,
             other => EtherType::Other(other),
         }
+    }
+
+    /// True for the two tag TPIDs (802.1Q and 802.1ad) that wrap another
+    /// ethertype rather than carrying a payload protocol themselves.
+    pub const fn is_vlan_tag(self) -> bool {
+        matches!(self, EtherType::Vlan | EtherType::QinQ)
     }
 }
 
@@ -66,6 +86,8 @@ impl fmt::Display for EtherType {
             EtherType::ARP => write!(f, "ARP"),
             EtherType::SArp => write!(f, "S-ARP"),
             EtherType::Tarp => write!(f, "TARP"),
+            EtherType::Vlan => write!(f, "802.1Q"),
+            EtherType::QinQ => write!(f, "802.1ad"),
             EtherType::Other(v) => write!(f, "0x{v:04x}"),
         }
     }
@@ -94,39 +116,106 @@ pub struct EthernetFrame {
     pub dst: MacAddr,
     /// Source hardware address.
     pub src: MacAddr,
-    /// Payload protocol.
+    /// Payload protocol (the innermost ethertype when tags are present).
     pub ethertype: EtherType,
+    /// Outermost 802.1Q/802.1ad VLAN id, when the frame was tagged.
+    pub vlan: Option<u16>,
     /// Payload bytes (unpadded).
     pub payload: Vec<u8>,
 }
 
 impl EthernetFrame {
-    /// Creates a frame.
+    /// Creates an untagged frame.
     pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> Self {
-        EthernetFrame { dst, src, ethertype, payload }
+        EthernetFrame { dst, src, ethertype, vlan: None, payload }
     }
 
-    /// Serializes the frame, zero-padding the payload to the 46-byte minimum.
+    /// Tags the frame with an 802.1Q VLAN id (low 12 bits are kept).
+    #[must_use]
+    pub fn with_vlan(mut self, vid: u16) -> Self {
+        self.vlan = Some(vid & 0x0FFF);
+        self
+    }
+
+    /// Serializes the frame, zero-padding the payload to the 46-byte minimum
+    /// and emitting a single 802.1Q tag when [`vlan`](Self::vlan) is set.
     pub fn encode(&self) -> Vec<u8> {
+        let tag_len = if self.vlan.is_some() { ETHERNET_VLAN_TAG_LEN } else { 0 };
         let payload_len = self.payload.len().max(ETHERNET_MIN_PAYLOAD);
-        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + payload_len);
+        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + tag_len + payload_len);
         buf.extend_from_slice(self.dst.as_bytes());
         buf.extend_from_slice(self.src.as_bytes());
+        if let Some(vid) = self.vlan {
+            buf.extend_from_slice(&EtherType::Vlan.to_u16().to_be_bytes());
+            buf.extend_from_slice(&(vid & 0x0FFF).to_be_bytes());
+        }
         buf.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
         buf.extend_from_slice(&self.payload);
-        buf.resize(ETHERNET_HEADER_LEN + payload_len, 0);
+        buf.resize(ETHERNET_HEADER_LEN + tag_len + payload_len, 0);
         buf
     }
 
-    /// Parses a frame from raw bytes. The payload keeps any padding, since a
-    /// receiver cannot distinguish padding from data without the L3 length.
+    /// Parses a frame from raw bytes, unwrapping any 802.1Q/802.1ad tags.
+    /// The payload keeps any padding, since a receiver cannot distinguish
+    /// padding from data without the L3 length.
     ///
     /// # Errors
     ///
     /// Returns [`ParseError::Truncated`] when `buf` is shorter than the
-    /// 14-byte header, and [`ParseError::InvalidField`] when the payload
-    /// exceeds the standard MTU.
+    /// 14-byte header (or ends inside a VLAN tag), and
+    /// [`ParseError::InvalidField`] when the payload exceeds the standard
+    /// MTU. Use [`EthernetFrame::parse_lenient`] to accept jumbo payloads.
     pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        EthernetView::parse_strict(buf).map(|view| view.to_frame())
+    }
+
+    /// Like [`EthernetFrame::parse`] but accepts payloads over the standard
+    /// MTU (jumbo frames), as real captures contain them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] when `buf` is shorter than the
+    /// 14-byte header or ends inside a VLAN tag.
+    pub fn parse_lenient(buf: &[u8]) -> Result<Self, ParseError> {
+        EthernetView::parse(buf).map(|view| view.to_frame())
+    }
+
+    /// Total on-wire length after padding.
+    pub fn wire_len(&self) -> usize {
+        let tag_len = if self.vlan.is_some() { ETHERNET_VLAN_TAG_LEN } else { 0 };
+        ETHERNET_HEADER_LEN + tag_len + self.payload.len().max(ETHERNET_MIN_PAYLOAD)
+    }
+
+    /// True when addressed to the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst.is_broadcast()
+    }
+}
+
+/// A borrowed, zero-copy view of an Ethernet II frame.
+///
+/// [`EthernetFrame::parse`] clones the payload into an owned `Vec` on every
+/// call, which is fine inside the simulator but dominates the ingest hot
+/// path. The view validates the same framing (including 802.1Q/802.1ad tag
+/// unwrapping) while borrowing everything from the input buffer, so a
+/// steady-state detector parses frames without touching the allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetView<'a> {
+    buf: &'a [u8],
+    payload_at: usize,
+    ethertype: EtherType,
+    vlan: Option<u16>,
+}
+
+impl<'a> EthernetView<'a> {
+    /// Parses a frame in lenient mode: VLAN tags are unwrapped, jumbo
+    /// payloads are accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] when `buf` is shorter than the
+    /// 14-byte header or ends inside a VLAN tag.
+    pub fn parse(buf: &'a [u8]) -> Result<Self, ParseError> {
         if buf.len() < ETHERNET_HEADER_LEN {
             return Err(ParseError::Truncated {
                 what: "ethernet",
@@ -134,30 +223,91 @@ impl EthernetFrame {
                 got: buf.len(),
             });
         }
-        let payload = &buf[ETHERNET_HEADER_LEN..];
-        if payload.len() > ETHERNET_MAX_PAYLOAD {
+        // Walk the (possibly QinQ-stacked) tags: each one replaces the
+        // ethertype at `at` with a TCI + inner ethertype 4 bytes later.
+        let mut at = ETHERNET_HEADER_LEN - 2;
+        let mut raw = u16::from_be_bytes([buf[at], buf[at + 1]]);
+        let mut vlan = None;
+        while EtherType::from_u16(raw).is_vlan_tag() {
+            if buf.len() < at + 2 + ETHERNET_VLAN_TAG_LEN {
+                return Err(ParseError::Truncated {
+                    what: "ethernet.vlan",
+                    needed: at + 2 + ETHERNET_VLAN_TAG_LEN,
+                    got: buf.len(),
+                });
+            }
+            let tci = u16::from_be_bytes([buf[at + 2], buf[at + 3]]);
+            vlan.get_or_insert(tci & 0x0FFF);
+            at += ETHERNET_VLAN_TAG_LEN;
+            raw = u16::from_be_bytes([buf[at], buf[at + 1]]);
+        }
+        Ok(EthernetView { buf, payload_at: at + 2, ethertype: EtherType::from_u16(raw), vlan })
+    }
+
+    /// Parses a frame, rejecting payloads over the standard MTU like the
+    /// owned [`EthernetFrame::parse`] does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] on a short buffer and
+    /// [`ParseError::InvalidField`] when the payload exceeds
+    /// [`ETHERNET_MAX_PAYLOAD`].
+    pub fn parse_strict(buf: &'a [u8]) -> Result<Self, ParseError> {
+        let view = Self::parse(buf)?;
+        if view.payload().len() > ETHERNET_MAX_PAYLOAD {
             return Err(ParseError::InvalidField {
                 what: "ethernet",
                 field: "payload_len",
-                value: payload.len() as u64,
+                value: view.payload().len() as u64,
             });
         }
-        Ok(EthernetFrame {
-            dst: MacAddr::parse(&buf[0..6])?,
-            src: MacAddr::parse(&buf[6..12])?,
-            ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
-            payload: payload.to_vec(),
-        })
+        Ok(view)
     }
 
-    /// Total on-wire length after padding.
-    pub fn wire_len(&self) -> usize {
-        ETHERNET_HEADER_LEN + self.payload.len().max(ETHERNET_MIN_PAYLOAD)
+    /// Destination hardware address.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::new(self.buf[0..6].try_into().expect("6 bytes"))
+    }
+
+    /// Source hardware address.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::new(self.buf[6..12].try_into().expect("6 bytes"))
+    }
+
+    /// Payload protocol (the innermost ethertype when tags are present).
+    pub fn ethertype(&self) -> EtherType {
+        self.ethertype
+    }
+
+    /// Outermost VLAN id, when the frame was tagged.
+    pub fn vlan(&self) -> Option<u16> {
+        self.vlan
+    }
+
+    /// Payload bytes after the header and any tags, padding included.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.buf[self.payload_at..]
+    }
+
+    /// Header length including any tags.
+    pub fn header_len(&self) -> usize {
+        self.payload_at
     }
 
     /// True when addressed to the broadcast address.
     pub fn is_broadcast(&self) -> bool {
-        self.dst.is_broadcast()
+        self.buf[0..6] == [0xFF; 6]
+    }
+
+    /// Copies the view into an owned [`EthernetFrame`].
+    pub fn to_frame(&self) -> EthernetFrame {
+        EthernetFrame {
+            dst: self.dst(),
+            src: self.src(),
+            ethertype: self.ethertype,
+            vlan: self.vlan,
+            payload: self.payload().to_vec(),
+        }
     }
 }
 
@@ -215,11 +365,96 @@ mod tests {
 
     #[test]
     fn ethertype_u16_roundtrip() {
-        for v in [0x0800u16, 0x0806, 0x88b5, 0x88b6, 0x1234] {
+        for v in [0x0800u16, 0x0806, 0x88b5, 0x88b6, 0x8100, 0x88a8, 0x1234] {
             assert_eq!(EtherType::from_u16(v).to_u16(), v);
         }
         assert_eq!(EtherType::from_u16(0x0806), EtherType::ARP);
         assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x8100), EtherType::Vlan);
+        assert_eq!(EtherType::from_u16(0x88a8), EtherType::QinQ);
+        assert!(EtherType::Vlan.is_vlan_tag() && EtherType::QinQ.is_vlan_tag());
+        assert!(!EtherType::ARP.is_vlan_tag());
+    }
+
+    #[test]
+    fn vlan_tag_roundtrips_and_matches_golden_bytes() {
+        let frame = EthernetFrame::new(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            EtherType::ARP,
+            vec![0xaa; 46],
+        )
+        .with_vlan(0x123);
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), ETHERNET_HEADER_LEN + ETHERNET_VLAN_TAG_LEN + 46);
+        assert_eq!(frame.wire_len(), bytes.len());
+        // 802.1Q TPID then TCI, then the real ethertype.
+        assert_eq!(&bytes[12..14], &[0x81, 0x00]);
+        assert_eq!(&bytes[14..16], &[0x01, 0x23]);
+        assert_eq!(&bytes[16..18], &[0x08, 0x06]);
+        let parsed = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(parsed, frame);
+        assert_eq!(parsed.vlan, Some(0x123));
+        assert_eq!(parsed.ethertype, EtherType::ARP);
+    }
+
+    #[test]
+    fn qinq_stacks_unwrap_to_outermost_vid() {
+        // Hand-spliced 802.1ad outer + 802.1Q inner tag: the outer service
+        // tag's VID wins, both tags are skipped.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MacAddr::BROADCAST.as_bytes());
+        bytes.extend_from_slice(MacAddr::from_index(7).as_bytes());
+        bytes.extend_from_slice(&[0x88, 0xa8, 0x0F, 0xFE]); // S-tag, VID 0xFFE
+        bytes.extend_from_slice(&[0x81, 0x00, 0x00, 0x02]); // C-tag, VID 2
+        bytes.extend_from_slice(&[0x08, 0x06]);
+        bytes.extend_from_slice(&[0u8; 46]);
+        let parsed = EthernetFrame::parse(&bytes).unwrap();
+        assert_eq!(parsed.vlan, Some(0xFFE));
+        assert_eq!(parsed.ethertype, EtherType::ARP);
+        assert_eq!(parsed.payload.len(), 46);
+    }
+
+    #[test]
+    fn truncated_vlan_tag_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0u8; 12]);
+        bytes.extend_from_slice(&[0x81, 0x00, 0x00]); // tag cut mid-TCI
+        assert!(matches!(
+            EthernetFrame::parse(&bytes),
+            Err(ParseError::Truncated { what: "ethernet.vlan", .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_parse_accepts_jumbo_payloads() {
+        let frame =
+            EthernetFrame::new(MacAddr::ZERO, MacAddr::ZERO, EtherType::Ipv4, vec![0x55; 4000]);
+        let bytes = frame.encode();
+        assert!(EthernetFrame::parse(&bytes).is_err(), "strict parse still rejects jumbos");
+        let parsed = EthernetFrame::parse_lenient(&bytes).unwrap();
+        assert_eq!(parsed.payload.len(), 4000);
+    }
+
+    #[test]
+    fn view_agrees_with_owned_parse() {
+        for frame in [
+            sample(),
+            sample().with_vlan(42),
+            EthernetFrame::new(MacAddr::BROADCAST, MacAddr::from_index(3), EtherType::ARP, vec![]),
+        ] {
+            let bytes = frame.encode();
+            let view = EthernetView::parse(&bytes).unwrap();
+            let owned = EthernetFrame::parse(&bytes).unwrap();
+            assert_eq!(view.dst(), owned.dst);
+            assert_eq!(view.src(), owned.src);
+            assert_eq!(view.ethertype(), owned.ethertype);
+            assert_eq!(view.vlan(), owned.vlan);
+            assert_eq!(view.payload(), &owned.payload[..]);
+            assert_eq!(view.is_broadcast(), owned.is_broadcast());
+            assert_eq!(view.header_len(), bytes.len() - owned.payload.len());
+            assert_eq!(view.to_frame(), owned);
+        }
     }
 
     #[test]

@@ -45,7 +45,8 @@ pub use dhcp::{
 };
 pub use error::ParseError;
 pub use ether::{
-    EtherType, EthernetFrame, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD, ETHERNET_MIN_PAYLOAD,
+    EtherType, EthernetFrame, EthernetView, ETHERNET_HEADER_LEN, ETHERNET_MAX_PAYLOAD,
+    ETHERNET_MIN_PAYLOAD, ETHERNET_VLAN_TAG_LEN,
 };
 pub use icmp::{IcmpMessage, IcmpType};
 pub use ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet, IPV4_HEADER_LEN};

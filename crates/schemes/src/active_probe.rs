@@ -4,7 +4,9 @@ use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
-use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+use arpshield_packet::{
+    ArpOp, ArpPacket, EtherType, EthernetFrame, EthernetView, Ipv4Addr, MacAddr,
+};
 
 use crate::alert::{Alert, AlertKind, AlertLog};
 use crate::work;
@@ -193,13 +195,13 @@ impl Device for ActiveProbeMonitor {
     }
 
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
-        let Ok(eth) = EthernetFrame::parse(frame) else {
+        let Ok(eth) = EthernetView::parse(frame) else {
             return;
         };
-        if eth.ethertype != EtherType::ARP {
+        if eth.ethertype() != EtherType::ARP {
             return;
         }
-        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+        let Ok(arp) = ArpPacket::parse(eth.payload()) else {
             return;
         };
         if arp.sender_mac == self.config.mac {

@@ -247,6 +247,12 @@ impl SchemeKind {
     pub fn label(&self) -> &'static str {
         self.descriptor().name
     }
+
+    /// Resolves a stable label (as printed by [`label`](Self::label))
+    /// back to its kind — the CLI's `--scheme` parser.
+    pub fn from_label(label: &str) -> Option<SchemeKind> {
+        SchemeKind::all().into_iter().find(|kind| kind.label() == label)
+    }
 }
 
 impl std::fmt::Display for SchemeKind {

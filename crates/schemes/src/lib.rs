@@ -28,6 +28,7 @@ mod alert;
 mod antidote;
 pub mod dai;
 mod descriptor;
+mod detector;
 mod factory;
 mod passive;
 mod rate;
@@ -41,6 +42,7 @@ pub use alert::{Alert, AlertKind, AlertLog};
 pub use antidote::{AnticapHook, AntidoteHook};
 pub use dai::{DaiConfig, DaiInspector};
 pub use descriptor::{Activity, DeployCost, Mode, SchemeClass, SchemeDescriptor, SchemeKind};
+pub use detector::{Detector, IngestStats};
 pub use factory::{
     AuxStation, HostAgentFn, LanPlan, SchemeHardening, SchemeInstallation, SchemeResources,
 };

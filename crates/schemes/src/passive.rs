@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
-use arpshield_packet::{ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+use arpshield_packet::{ArpPacket, EtherType, EthernetView, Ipv4Addr, MacAddr};
 
 use crate::alert::{Alert, AlertKind, AlertLog};
 use crate::work;
@@ -141,13 +141,15 @@ impl Device for PassiveMonitor {
     }
 
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
-        let Ok(eth) = EthernetFrame::parse(frame) else {
+        // Lenient borrowed-view parse: no per-frame allocation, and
+        // VLAN-tagged or jumbo ARP stays visible off a real capture.
+        let Ok(eth) = EthernetView::parse(frame) else {
             return;
         };
-        if eth.ethertype != EtherType::ARP {
+        if eth.ethertype() != EtherType::ARP {
             return;
         }
-        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+        let Ok(arp) = ArpPacket::parse(eth.payload()) else {
             return;
         };
         self.inspected += 1;

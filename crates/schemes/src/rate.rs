@@ -15,8 +15,8 @@ use std::time::Duration;
 
 use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
 use arpshield_packet::{
-    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram,
-    DHCP_SERVER_PORT,
+    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, EthernetView, IpProtocol, Ipv4Packet,
+    MacAddr, UdpDatagram, DHCP_SERVER_PORT,
 };
 
 use crate::alert::{Alert, AlertKind, AlertLog};
@@ -128,22 +128,34 @@ impl RateMonitor {
     /// Feeds one sniffed frame through the counters (also the bench
     /// entry point).
     pub fn observe(&mut self, now: SimTime, eth: &EthernetFrame) {
+        self.observe_parts(now, eth.src, eth.ethertype, &eth.payload);
+    }
+
+    /// [`observe`](Self::observe) without the owned frame: the borrowed
+    /// pieces a zero-copy [`EthernetView`] hands out.
+    pub fn observe_parts(
+        &mut self,
+        now: SimTime,
+        src: MacAddr,
+        ethertype: EtherType,
+        payload: &[u8],
+    ) {
         self.inspected += 1;
         self.log.add_work(SCHEME, work::INSPECT);
         self.expire(now);
-        if eth.src.is_unicast() && !eth.src.is_zero() {
-            self.mac_events.push_back((now, eth.src));
+        if src.is_unicast() && !src.is_zero() {
+            self.mac_events.push_back((now, src));
         }
-        match eth.ethertype {
+        match ethertype {
             EtherType::ARP => {
-                if let Ok(arp) = arpshield_packet::ArpPacket::parse(&eth.payload) {
+                if let Ok(arp) = arpshield_packet::ArpPacket::parse(payload) {
                     if arp.op == arpshield_packet::ArpOp::Request && !arp.is_probe() {
                         self.arp_request_events.push_back(now);
                     }
                 }
             }
             EtherType::Ipv4 => {
-                if let Ok(pkt) = Ipv4Packet::parse(&eth.payload) {
+                if let Ok(pkt) = Ipv4Packet::parse(payload) {
                     if pkt.protocol == IpProtocol::Udp {
                         if let Ok(dgram) = UdpDatagram::parse(&pkt.payload, pkt.src, pkt.dst) {
                             if dgram.dst_port == DHCP_SERVER_PORT {
@@ -173,8 +185,8 @@ impl Device for RateMonitor {
     }
 
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
-        if let Ok(eth) = EthernetFrame::parse(frame) {
-            self.observe(ctx.now(), &eth);
+        if let Ok(eth) = EthernetView::parse(frame) {
+            self.observe_parts(ctx.now(), eth.src(), eth.ethertype(), eth.payload());
         }
     }
 }

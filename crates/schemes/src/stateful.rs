@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
-use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetView, Ipv4Addr, MacAddr};
 
 use crate::alert::{Alert, AlertKind, AlertLog};
 use crate::work;
@@ -95,14 +95,12 @@ impl StatefulMonitor {
         }
     }
 
-    fn inspect(&mut self, now: SimTime, eth: &EthernetFrame, arp: &ArpPacket) {
+    fn inspect(&mut self, now: SimTime, l2_src: MacAddr, arp: &ArpPacket) {
         self.inspected += 1;
         self.log.add_work(SCHEME, work::INSPECT);
-        if self.config.check_l2_consistency
-            && !arp.sender_mac.is_zero()
-            && eth.src != arp.sender_mac
+        if self.config.check_l2_consistency && !arp.sender_mac.is_zero() && l2_src != arp.sender_mac
         {
-            self.raise(now, AlertKind::ReplyMismatch, arp, Some(eth.src));
+            self.raise(now, AlertKind::ReplyMismatch, arp, Some(l2_src));
         }
         match arp.op {
             ArpOp::Request => {
@@ -147,16 +145,16 @@ impl Device for StatefulMonitor {
     }
 
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
-        let Ok(eth) = EthernetFrame::parse(frame) else {
+        let Ok(eth) = EthernetView::parse(frame) else {
             return;
         };
-        if eth.ethertype != EtherType::ARP {
+        if eth.ethertype() != EtherType::ARP {
             return;
         }
-        let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+        let Ok(arp) = ArpPacket::parse(eth.payload()) else {
             return;
         };
-        self.inspect(ctx.now(), &eth, &arp);
+        self.inspect(ctx.now(), eth.src(), &arp);
     }
 }
 
@@ -167,10 +165,6 @@ mod tests {
     fn monitor() -> (StatefulMonitor, AlertLog) {
         let log = AlertLog::new();
         (StatefulMonitor::new(StatefulConfig::default(), log.clone()), log)
-    }
-
-    fn eth_for(arp: &ArpPacket) -> EthernetFrame {
-        EthernetFrame::new(MacAddr::BROADCAST, arp.sender_mac, EtherType::ARP, arp.encode())
     }
 
     fn request(from: u32, from_ip: u8, for_ip: u8) -> ArpPacket {
@@ -185,9 +179,9 @@ mod tests {
     fn solicited_reply_is_silent() {
         let (mut m, log) = monitor();
         let req = request(1, 1, 2);
-        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        m.inspect(SimTime::from_secs(1), req.sender_mac, &req);
         let reply = ArpPacket::reply_to(&req, MacAddr::from_index(2));
-        m.inspect(SimTime::from_millis(1100), &eth_for(&reply), &reply);
+        m.inspect(SimTime::from_millis(1100), reply.sender_mac, &reply);
         assert!(log.is_empty(), "alerts: {:?}", log.alerts());
     }
 
@@ -201,7 +195,7 @@ mod tests {
             target_mac: MacAddr::from_index(2),
             target_ip: Ipv4Addr::new(10, 0, 0, 2),
         };
-        m.inspect(SimTime::from_secs(5), &eth_for(&forged), &forged);
+        m.inspect(SimTime::from_secs(5), forged.sender_mac, &forged);
         assert_eq!(log.alerts()[0].kind, AlertKind::UnsolicitedReply);
     }
 
@@ -209,9 +203,9 @@ mod tests {
     fn reply_outside_window_is_unsolicited() {
         let (mut m, log) = monitor();
         let req = request(1, 1, 2);
-        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        m.inspect(SimTime::from_secs(1), req.sender_mac, &req);
         let reply = ArpPacket::reply_to(&req, MacAddr::from_index(2));
-        m.inspect(SimTime::from_secs(10), &eth_for(&reply), &reply);
+        m.inspect(SimTime::from_secs(10), reply.sender_mac, &reply);
         assert_eq!(log.alerts()[0].kind, AlertKind::UnsolicitedReply);
     }
 
@@ -220,7 +214,7 @@ mod tests {
         let (mut m, log) = monitor();
         // Victim asks for gw.
         let req = request(2, 2, 1);
-        m.inspect(SimTime::from_secs(1), &eth_for(&req), &req);
+        m.inspect(SimTime::from_secs(1), req.sender_mac, &req);
         // Attacker's forged reply wins the race — it is solicited.
         let forged = ArpPacket {
             op: ArpOp::Reply,
@@ -229,7 +223,7 @@ mod tests {
             target_mac: MacAddr::from_index(2),
             target_ip: Ipv4Addr::new(10, 0, 0, 2),
         };
-        m.inspect(SimTime::from_millis(1010), &eth_for(&forged), &forged);
+        m.inspect(SimTime::from_millis(1010), forged.sender_mac, &forged);
         assert!(log.is_empty(), "solicited forgery passes reply matching");
         // The genuine reply lands second: binding DB flags the flip.
         let genuine = ArpPacket {
@@ -239,7 +233,7 @@ mod tests {
             target_mac: MacAddr::from_index(2),
             target_ip: Ipv4Addr::new(10, 0, 0, 2),
         };
-        m.inspect(SimTime::from_millis(1020), &eth_for(&genuine), &genuine);
+        m.inspect(SimTime::from_millis(1020), genuine.sender_mac, &genuine);
         let kinds: Vec<_> = log.alerts().iter().map(|a| a.kind).collect();
         // The genuine reply is now "unsolicited" (request consumed) and
         // the binding flip fires: the race is *noticed*, but attribution
@@ -252,9 +246,8 @@ mod tests {
     fn l2_inconsistency_detected() {
         let (mut m, log) = monitor();
         let forged = request(66, 1, 2); // claims sender mac 66...
-        let mut eth = eth_for(&forged);
-        eth.src = MacAddr::from_index(99); // ...but frame sourced from 99
-        m.inspect(SimTime::from_secs(1), &eth, &forged);
+                                        // ...but the frame is sourced from 99.
+        m.inspect(SimTime::from_secs(1), MacAddr::from_index(99), &forged);
         assert!(log.alerts().iter().any(|a| a.kind == AlertKind::ReplyMismatch));
     }
 
@@ -262,13 +255,13 @@ mod tests {
     fn gratuitous_request_poisoning_caught_by_binding_db() {
         let (mut m, log) = monitor();
         let honest = request(1, 1, 2);
-        m.inspect(SimTime::from_secs(1), &eth_for(&honest), &honest);
+        m.inspect(SimTime::from_secs(1), honest.sender_mac, &honest);
         let forged = ArpPacket::gratuitous(
             ArpOp::Request,
             MacAddr::from_index(66),
             Ipv4Addr::new(10, 0, 0, 1),
         );
-        m.inspect(SimTime::from_secs(2), &eth_for(&forged), &forged);
+        m.inspect(SimTime::from_secs(2), forged.sender_mac, &forged);
         assert!(log.alerts().iter().any(|a| a.kind == AlertKind::BindingChanged));
     }
 }

@@ -4,6 +4,21 @@
 //! tshark; one Interface Description Block per simulated run (named
 //! after the run label, nanosecond timestamp resolution) keeps
 //! multi-run experiment captures in a single file.
+//!
+//! Two readers share the format logic but differ in contract:
+//!
+//! - [`parse`] loads a whole buffer and is strict — a truncated tail is
+//!   an error, because arpshield's own artifacts are never truncated.
+//! - [`PcapngStream`] pulls blocks from any [`Read`] source in constant
+//!   memory and is lenient where real captures are messy: a file cut
+//!   mid-block (capture process killed) yields every complete block
+//!   plus a warning instead of an error.
+//!
+//! Both accept multi-section files (a new Section Header Block restarts
+//! the on-wire interface numbering; readers remap packet interface ids
+//! onto one global list, so concatenated captures just work).
+
+use std::io::Read;
 
 /// Section Header Block type.
 const SHB_TYPE: u32 = 0x0A0D_0D0A;
@@ -193,6 +208,9 @@ pub fn parse(data: &[u8]) -> Result<PcapngFile, String> {
     let mut file = PcapngFile::default();
     let mut tsresols: Vec<u8> = Vec::new();
     let mut seen_shb = false;
+    // Interface ids restart at every Section Header Block; packets are
+    // remapped onto the global interface list via this base.
+    let mut section_base = 0usize;
     while r.pos < data.len() {
         let block_start = r.pos;
         let block_type = r.u32()?;
@@ -205,27 +223,22 @@ pub fn parse(data: &[u8]) -> Result<PcapngFile, String> {
         if trailer != total_len {
             return Err(format!("mismatched block trailer at offset {block_start}"));
         }
-        if !seen_shb {
-            if block_type != SHB_TYPE {
-                return Err("file does not start with a section header block".to_string());
-            }
-            if body.len() < 4 {
-                return Err("truncated section header".to_string());
-            }
-            let magic = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
-            if magic != BYTE_ORDER_MAGIC {
-                return Err(format!(
-                    "unsupported byte-order magic {magic:#010x} (expected little-endian)"
-                ));
-            }
-            seen_shb = true;
-            continue;
+        if !seen_shb && block_type != SHB_TYPE {
+            return Err("file does not start with a section header block".to_string());
         }
         match block_type {
             SHB_TYPE => {
-                // A new section: interface ids restart. Single-section
-                // files are all we write; reject the rest loudly.
-                return Err("multi-section pcapng files are not supported".to_string());
+                if body.len() < 4 {
+                    return Err("truncated section header".to_string());
+                }
+                let magic = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                if magic != BYTE_ORDER_MAGIC {
+                    return Err(format!(
+                        "unsupported byte-order magic {magic:#010x} (expected little-endian)"
+                    ));
+                }
+                seen_shb = true;
+                section_base = file.interfaces.len();
             }
             IDB_TYPE => {
                 if body.len() < 8 {
@@ -251,9 +264,9 @@ pub fn parse(data: &[u8]) -> Result<PcapngFile, String> {
                 }
                 let word =
                     |i: usize| u32::from_le_bytes(body[i..i + 4].try_into().expect("4 bytes"));
-                let interface = word(0) as usize;
+                let interface = section_base + word(0) as usize;
                 if interface >= file.interfaces.len() {
-                    return Err(format!("packet references unknown interface {interface}"));
+                    return Err(format!("packet references unknown interface {}", word(0)));
                 }
                 let ts = (u64::from(word(4)) << 32) | u64::from(word(8));
                 let captured = word(12) as usize;
@@ -277,6 +290,288 @@ pub fn parse(data: &[u8]) -> Result<PcapngFile, String> {
         return Err("empty capture".to_string());
     }
     Ok(file)
+}
+
+/// Blocks larger than this are treated as corruption by the streaming
+/// reader: the length field arrives before the data, and a flipped bit
+/// must not become a multi-gigabyte allocation.
+pub const MAX_STREAM_BLOCK: usize = 16 << 20;
+
+/// Counters a [`PcapngStream`] keeps while pulling blocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Sections (SHBs) seen.
+    pub sections: u64,
+    /// Blocks of any type read completely.
+    pub blocks: u64,
+    /// Enhanced Packet Blocks yielded.
+    pub packets: u64,
+    /// Blocks of types this reader does not understand (skipped).
+    pub unknown_blocks: u64,
+    /// Total bytes consumed from the source, trailers included.
+    pub bytes: u64,
+}
+
+/// One packet lent out of a [`PcapngStream`]; `bytes` and `comment`
+/// borrow the stream's internal block buffer and are valid until the
+/// next [`next_packet`](PcapngStream::next_packet) call.
+#[derive(Debug)]
+pub struct StreamPacket<'a> {
+    /// Global interface index (see [`PcapngStream::interfaces`]).
+    pub interface: usize,
+    /// Timestamp in nanoseconds (scaled from the interface's tsresol).
+    pub ts_ns: u64,
+    /// The captured octets.
+    pub bytes: &'a [u8],
+    /// The packet's `opt_comment`, empty when absent or not UTF-8.
+    pub comment: &'a str,
+}
+
+/// What one internal block step produced (kept borrow-free so the
+/// packet slice can be carved out after the read loop).
+enum Step {
+    /// An EPB landed in the buffer: `(interface, ts_ns, data range, comment range)`.
+    Packet(usize, u64, std::ops::Range<usize>, std::ops::Range<usize>),
+    /// A non-packet block was consumed.
+    Skip,
+    /// Clean or truncated end of input.
+    End,
+}
+
+/// A pull-based pcapng reader over any [`Read`] source.
+///
+/// Memory use is bounded by the largest single block, independent of
+/// file length — the ingest path runs arbitrarily large captures (or
+/// stdin pipes) through it. See the module docs for how its truncation
+/// contract differs from [`parse`].
+#[derive(Debug)]
+pub struct PcapngStream<R> {
+    input: R,
+    /// Reusable body buffer for the block being decoded.
+    buf: Vec<u8>,
+    interfaces: Vec<String>,
+    tsresols: Vec<u8>,
+    section_base: usize,
+    seen_shb: bool,
+    warnings: Vec<String>,
+    done: bool,
+    offset: u64,
+    stats: StreamStats,
+}
+
+impl<R: Read> PcapngStream<R> {
+    /// Wraps a byte source. Nothing is read until the first
+    /// [`next_packet`](Self::next_packet) call.
+    pub fn new(input: R) -> Self {
+        PcapngStream {
+            input,
+            buf: Vec::new(),
+            interfaces: Vec::new(),
+            tsresols: Vec::new(),
+            section_base: 0,
+            seen_shb: false,
+            warnings: Vec::new(),
+            done: false,
+            offset: 0,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Interface names seen so far, across all sections, in global-id
+    /// order. Grows as IDBs are read; a yielded packet's `interface`
+    /// always indexes into it.
+    pub fn interfaces(&self) -> &[String] {
+        &self.interfaces
+    }
+
+    /// Non-fatal problems hit so far (truncated tail). At most one per
+    /// stream today, but future leniencies may add more.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Reader statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Pulls the next Enhanced Packet Block, transparently consuming
+    /// section headers, interface descriptions, and unknown blocks.
+    /// Returns `Ok(None)` at end of input — including a *truncated* end,
+    /// which is additionally surfaced via [`warnings`](Self::warnings).
+    ///
+    /// # Errors
+    ///
+    /// Structural corruption in fully-present bytes is still an error:
+    /// bad leading block, bad byte-order magic, implausible or
+    /// misaligned block lengths, mismatched trailers, packets citing
+    /// unknown interfaces.
+    pub fn next_packet(&mut self) -> Result<Option<StreamPacket<'_>>, String> {
+        let (interface, ts_ns, data, comment) = loop {
+            if self.done {
+                return Ok(None);
+            }
+            match self.step()? {
+                Step::Packet(interface, ts_ns, data, comment) => {
+                    break (interface, ts_ns, data, comment)
+                }
+                Step::Skip => continue,
+                Step::End => {
+                    self.done = true;
+                    if !self.seen_shb && self.warnings.is_empty() {
+                        return Err("empty capture".to_string());
+                    }
+                    return Ok(None);
+                }
+            }
+        };
+        let comment = std::str::from_utf8(&self.buf[comment]).unwrap_or("");
+        Ok(Some(StreamPacket { interface, ts_ns, bytes: &self.buf[data], comment }))
+    }
+
+    /// Reads exactly `buf.len()` bytes. `Ok(n)` with `n < buf.len()`
+    /// means the source ended early (n may be 0: clean EOF).
+    fn read_fully(&mut self, scratch: &mut [u8]) -> Result<usize, String> {
+        let mut got = 0;
+        while got < scratch.len() {
+            match self.input.read(&mut scratch[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(format!("read error at offset {}: {e}", self.offset + got as u64))
+                }
+            }
+        }
+        self.offset += got as u64;
+        self.stats.bytes += got as u64;
+        Ok(got)
+    }
+
+    fn truncated(&mut self, what: &str) -> Step {
+        self.warnings.push(format!(
+            "capture truncated {what} at offset {}: keeping the {} complete packet(s) before it",
+            self.offset, self.stats.packets
+        ));
+        Step::End
+    }
+
+    /// Consumes one block from the source.
+    fn step(&mut self) -> Result<Step, String> {
+        let block_start = self.offset;
+        let mut head = [0u8; 8];
+        let got = self.read_fully(&mut head)?;
+        if got == 0 {
+            return Ok(Step::End); // clean end between blocks
+        }
+        if got < head.len() {
+            return Ok(self.truncated("inside a block header"));
+        }
+        let block_type = u32::from_le_bytes(head[0..4].try_into().expect("4 bytes"));
+        let total_len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes")) as usize;
+        if total_len < 12 || total_len % 4 != 0 {
+            return Err(format!("bad block length {total_len} at offset {block_start}"));
+        }
+        if total_len > MAX_STREAM_BLOCK {
+            return Err(format!(
+                "implausible block length {total_len} at offset {block_start} (max {MAX_STREAM_BLOCK})"
+            ));
+        }
+        self.buf.resize(total_len - 12, 0);
+        let mut scratch = std::mem::take(&mut self.buf);
+        let got = self.read_fully(&mut scratch)?;
+        self.buf = scratch;
+        if got < total_len - 12 {
+            return Ok(self.truncated("inside a block body"));
+        }
+        let mut trailer = [0u8; 4];
+        let got = self.read_fully(&mut trailer)?;
+        if got < trailer.len() {
+            return Ok(self.truncated("inside a block trailer"));
+        }
+        if u32::from_le_bytes(trailer) as usize != total_len {
+            return Err(format!("mismatched block trailer at offset {block_start}"));
+        }
+        self.stats.blocks += 1;
+        if !self.seen_shb && block_type != SHB_TYPE {
+            return Err("file does not start with a section header block".to_string());
+        }
+        match block_type {
+            SHB_TYPE => {
+                if self.buf.len() < 4 {
+                    return Err("truncated section header".to_string());
+                }
+                let magic = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+                if magic != BYTE_ORDER_MAGIC {
+                    return Err(format!(
+                        "unsupported byte-order magic {magic:#010x} (expected little-endian)"
+                    ));
+                }
+                self.seen_shb = true;
+                self.section_base = self.interfaces.len();
+                self.stats.sections += 1;
+                Ok(Step::Skip)
+            }
+            IDB_TYPE => {
+                if self.buf.len() < 8 {
+                    return Err("truncated interface description block".to_string());
+                }
+                let opts = options(&self.buf[8..]);
+                let name = opts
+                    .iter()
+                    .find(|(code, _)| *code == OPT_IF_NAME)
+                    .map(|(_, v)| String::from_utf8_lossy(v).into_owned())
+                    .unwrap_or_default();
+                let tsresol = opts
+                    .iter()
+                    .find(|(code, _)| *code == OPT_IF_TSRESOL)
+                    .and_then(|(_, v)| v.first().copied())
+                    .unwrap_or(6); // the spec default: microseconds
+                self.interfaces.push(name);
+                self.tsresols.push(tsresol);
+                Ok(Step::Skip)
+            }
+            EPB_TYPE => {
+                if self.buf.len() < 20 {
+                    return Err("truncated enhanced packet block".to_string());
+                }
+                let word =
+                    |i: usize| u32::from_le_bytes(self.buf[i..i + 4].try_into().expect("4 bytes"));
+                let local = word(0) as usize;
+                let interface = self.section_base + local;
+                if interface >= self.interfaces.len() {
+                    return Err(format!("packet references unknown interface {local}"));
+                }
+                let ts = (u64::from(word(4)) << 32) | u64::from(word(8));
+                let captured = word(12) as usize;
+                if self.buf.len() < 20 + captured {
+                    return Err("packet data exceeds block".to_string());
+                }
+                let opts_at = (20 + captured + pad4(captured)).min(self.buf.len());
+                let comment = options(&self.buf[opts_at..])
+                    .into_iter()
+                    .find(|(code, _)| *code == OPT_COMMENT)
+                    .map(|(_, value)| value)
+                    .unwrap_or_default();
+                // Relocate the comment into the buffer's tail so the
+                // yielded ranges both borrow `self.buf`.
+                let comment_at = self.buf.len();
+                self.buf.extend_from_slice(&comment);
+                let ts_ns = ts.saturating_mul(tsresol_to_ns(self.tsresols[interface]));
+                self.stats.packets += 1;
+                Ok(Step::Packet(
+                    interface,
+                    ts_ns,
+                    20..20 + captured,
+                    comment_at..comment_at + comment.len(),
+                ))
+            }
+            _ => {
+                self.stats.unknown_blocks += 1;
+                Ok(Step::Skip)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -378,5 +673,109 @@ mod tests {
         assert_eq!(tsresol_to_ns(6), 1_000);
         assert_eq!(tsresol_to_ns(0), 1_000_000_000);
         assert_eq!(tsresol_to_ns(0x80 | 10), 976_562, "2^-10 s in whole ns");
+    }
+
+    /// Collects a stream into the whole-buffer representation.
+    fn collect_stream(data: &[u8]) -> Result<(PcapngFile, Vec<String>, StreamStats), String> {
+        let mut stream = PcapngStream::new(data);
+        let mut file = PcapngFile::default();
+        while let Some(packet) = stream.next_packet()? {
+            file.packets.push(PcapngPacket {
+                interface: packet.interface,
+                ts_ns: packet.ts_ns,
+                bytes: packet.bytes.to_vec(),
+                comment: packet.comment.to_string(),
+            });
+        }
+        file.interfaces = stream.interfaces().to_vec();
+        Ok((file, stream.warnings().to_vec(), stream.stats()))
+    }
+
+    #[test]
+    fn streaming_matches_whole_buffer_parse() {
+        let mut w = PcapngWriter::new("arpshield");
+        let a = w.add_interface("run a");
+        let b = w.add_interface("run b");
+        w.add_packet(a, 42, &[1, 2, 3, 4, 5, 6], "id=1 kind=deliver");
+        w.add_packet(b, u64::from(u32::MAX) + 7, &[9; 60], "");
+        w.add_packet(a, 43, &[7, 8], "id=2 kind=drop.lost pinned");
+        let bytes = w.finish();
+        let whole = parse(&bytes).unwrap();
+        let (streamed, warnings, stats) = collect_stream(&bytes).unwrap();
+        assert_eq!(streamed, whole);
+        assert!(warnings.is_empty());
+        assert_eq!(stats.sections, 1);
+        assert_eq!(stats.packets, 3);
+        assert_eq!(stats.bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn streaming_keeps_complete_blocks_of_a_truncated_file() {
+        let mut w = PcapngWriter::new("x");
+        let i = w.add_interface("i");
+        w.add_packet(i, 1, &[0xAA; 20], "first");
+        w.add_packet(i, 2, &[0xBB; 20], "second");
+        let full = w.finish();
+        // Cut the file in the middle of the last packet block.
+        for cut in [full.len() - 2, full.len() - 20, full.len() - 45] {
+            let (streamed, warnings, _) = collect_stream(&full[..cut]).unwrap();
+            assert_eq!(streamed.packets.len(), 1, "complete packets survive a cut at {cut}");
+            assert_eq!(streamed.packets[0].bytes, vec![0xAA; 20]);
+            assert_eq!(warnings.len(), 1, "the cut is surfaced as a warning");
+            assert!(warnings[0].contains("truncated"), "{}", warnings[0]);
+            // The strict whole-buffer parse still refuses the same bytes.
+            assert!(parse(&full[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn multi_section_files_remap_interface_ids() {
+        // Two single-section files concatenated — the classic
+        // `mergecap`/appended-capture shape.
+        let mut first = PcapngWriter::new("one");
+        let a = first.add_interface("alpha");
+        first.add_packet(a, 10, &[1; 14], "from-one");
+        let mut second = PcapngWriter::new("two");
+        let b = second.add_interface("beta");
+        let c = second.add_interface("gamma");
+        second.add_packet(c, 20, &[2; 14], "from-two");
+        second.add_packet(b, 30, &[3; 14], "");
+        let mut bytes = first.finish();
+        bytes.extend_from_slice(&second.finish());
+
+        let whole = parse(&bytes).expect("multi-section files parse");
+        assert_eq!(whole.interfaces, vec!["alpha", "beta", "gamma"]);
+        assert_eq!(
+            whole.packets.iter().map(|p| p.interface).collect::<Vec<_>>(),
+            vec![0, 2, 1],
+            "second-section ids are remapped past the first section's"
+        );
+        let (streamed, warnings, stats) = collect_stream(&bytes).unwrap();
+        assert_eq!(streamed, whole);
+        assert!(warnings.is_empty());
+        assert_eq!(stats.sections, 2);
+    }
+
+    #[test]
+    fn streaming_rejects_structural_corruption() {
+        assert!(PcapngStream::new(&[][..]).next_packet().is_err(), "empty capture");
+        assert!(
+            matches!(collect_stream(&[0u8; 64]), Err(e) if e.contains("bad block length")),
+            "zeros are not a block stream"
+        );
+        let mut w = PcapngWriter::new("x");
+        w.add_interface("i");
+        let mut bytes = w.finish();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xFF; // corrupt the IDB trailer
+        assert!(
+            matches!(collect_stream(&bytes), Err(e) if e.contains("mismatched block trailer")),
+            "trailer mismatch in fully-present bytes stays fatal"
+        );
+        // An implausible length field must not drive a huge allocation.
+        let mut huge = PcapngWriter::new("x").finish();
+        huge.extend_from_slice(&EPB_TYPE.to_le_bytes());
+        huge.extend_from_slice(&(u32::MAX & !3).to_le_bytes());
+        assert!(matches!(collect_stream(&huge), Err(e) if e.contains("implausible block length")));
     }
 }

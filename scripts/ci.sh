@@ -7,9 +7,11 @@
 # Steps: rustfmt check, release build, full test suite, a smoke run of
 # the t5r loss-resilience sweep, a `--trace` smoke (manifest emission +
 # validation), a `--capture` smoke (pcapng + index emission, forensic
-# `inspect` timeline with verdict provenance), and a one-iteration smoke
-# run of every bench (which also exercises the results/bench/*.json
-# emission path).
+# `inspect` timeline with verdict provenance), an `ingest` smoke
+# (capture re-ingest through the standalone detector, checking live vs
+# re-ingested verdict-counter parity), and a one-iteration smoke run of
+# every bench (which also exercises the results/bench/*.json emission
+# path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +61,27 @@ done
     --verdict binding_changed >"$capture_out/t3.timeline"
 grep -q "scheme.verdict" "$capture_out/t3.timeline"
 rm -rf "$capture_out"
+
+echo "==> reproduce ingest smoke (capture re-ingest + verdict parity)"
+ingest_out="$(mktemp -d)"
+# Live t3 with a ring large enough that no frame is evicted: re-ingest
+# parity needs the monitor's complete vantage on disk.
+ARPSHIELD_RECORD_FRAMES=200000 ./target/release/reproduce t3 --trace --capture \
+    --out "$ingest_out" >/dev/null
+./target/release/reproduce ingest "$ingest_out/capture/t3.pcapng" \
+    --scheme passive --vantage passive-monitor --out "$ingest_out" >/dev/null
+test -s "$ingest_out/trace/ingest.json"
+test -s "$ingest_out/trace/ingest.csv"
+./target/release/reproduce validate-trace "$ingest_out/trace/ingest.json"
+# The standalone detector must reproduce the live passive runs' verdict
+# counters exactly from the recorded vantage.
+live_verdicts="$(awk -F',' '/scheme=passive/ && /scheme\.verdict\./ {sum+=$NF} END {print sum+0}' \
+    "$ingest_out/trace/t3.csv")"
+ingest_verdicts="$(awk -F',' '/detector=passive/ && /scheme\.verdict\./ {sum+=$NF} END {print sum+0}' \
+    "$ingest_out/trace/ingest.csv")"
+test "$live_verdicts" -gt 0
+test "$live_verdicts" = "$ingest_verdicts"
+rm -rf "$ingest_out"
 
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline

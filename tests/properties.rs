@@ -28,15 +28,31 @@ fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
 properties! {
     #[test]
     fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), ethertype in any::<u16>(),
+                          vid in any::<u16>(),
                           payload in collection::vec(any::<u8>(), 0..1500)) {
-        let frame = EthernetFrame::new(dst, src, EtherType::from_u16(ethertype), payload.clone());
+        // Tag TPIDs (0x8100/0x88a8) are unwrapped by the parser, not
+        // carried as a payload protocol; steer them to plain values.
+        let ethertype = if EtherType::from_u16(ethertype).is_vlan_tag() {
+            EtherType::ARP
+        } else {
+            EtherType::from_u16(ethertype)
+        };
+        let mut frame = EthernetFrame::new(dst, src, ethertype, payload.clone());
+        if vid % 2 == 0 {
+            frame = frame.with_vlan(vid);
+        }
         let parsed = EthernetFrame::parse(&frame.encode()).unwrap();
         prop_assert_eq!(parsed.dst, dst);
         prop_assert_eq!(parsed.src, src);
-        prop_assert_eq!(parsed.ethertype.to_u16(), ethertype);
+        prop_assert_eq!(parsed.ethertype, ethertype);
+        prop_assert_eq!(parsed.vlan, frame.vlan);
         // Padding may extend short payloads; the prefix must survive.
         prop_assert_eq!(&parsed.payload[..payload.len()], &payload[..]);
         prop_assert!(parsed.payload.len() >= 46 || payload.len() >= 46);
+        // The borrowed view agrees with the owned parse on the same bytes.
+        let bytes = frame.encode();
+        let view = arpshield::packet::EthernetView::parse(&bytes).unwrap();
+        prop_assert_eq!(view.to_frame(), parsed);
     }
 
     #[test]
