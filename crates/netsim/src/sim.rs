@@ -1,7 +1,7 @@
 //! The discrete-event simulation engine.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::time::Duration;
 
 use arpshield_trace::{FrameKind, Tracer};
@@ -105,7 +105,15 @@ pub struct Simulator {
     seq: u64,
     started: bool,
     devices: Vec<Box<dyn Device>>,
-    links: HashMap<(DeviceId, PortId), Endpoint>,
+    /// Index-addressed link arena: device `d`'s ports occupy slots
+    /// `port_base[d] .. port_base[d + 1]`. The dispatch hot path
+    /// resolves a send with one add and one array index instead of a
+    /// hash lookup per frame, and the single contiguous slab is what
+    /// lets per-link state shard cleanly once simulations span threads.
+    links: Vec<Option<Endpoint>>,
+    /// Cumulative port offsets into `links`, one entry per device plus
+    /// a trailing sentinel, so `port_base.len() == devices.len() + 1`.
+    port_base: Vec<u32>,
     queue: BinaryHeap<Reverse<Event>>,
     rng: SimRng,
     impair_seed: u64,
@@ -136,7 +144,8 @@ impl Simulator {
             seq: 0,
             started: false,
             devices: Vec::new(),
-            links: HashMap::new(),
+            links: Vec::new(),
+            port_base: vec![0],
             queue: BinaryHeap::new(),
             rng: SimRng::new(seed),
             impair_seed: seed ^ IMPAIR_SEED_SALT,
@@ -164,6 +173,9 @@ impl Simulator {
     /// Attaches a device and returns its id.
     pub fn add_device(&mut self, device: Box<dyn Device>) -> DeviceId {
         let id = DeviceId(self.devices.len());
+        let next = self.links.len() + device.port_count();
+        self.links.resize_with(next, || None);
+        self.port_base.push(next as u32);
         self.devices.push(device);
         id
     }
@@ -207,12 +219,15 @@ impl Simulator {
             return Err(NetsimError::SelfLink(a));
         }
         for (dev, port) in [(a, a_port), (b, b_port)] {
-            let device = self.devices.get(dev.0).ok_or(NetsimError::UnknownDevice(dev))?;
-            let count = device.port_count();
+            if dev.0 + 1 >= self.port_base.len() {
+                return Err(NetsimError::UnknownDevice(dev));
+            }
+            let base = self.port_base[dev.0] as usize;
+            let count = self.port_base[dev.0 + 1] as usize - base;
             if usize::from(port.0) >= count {
                 return Err(NetsimError::BadPort { device: dev, port, count });
             }
-            if self.links.contains_key(&(dev, port)) {
+            if self.links[base + usize::from(port.0)].is_some() {
                 return Err(NetsimError::PortInUse { device: dev, port });
             }
         }
@@ -220,14 +235,22 @@ impl Simulator {
         // endpoint — topology, not insertion order — so impairment draws
         // survive any change in how links happen to be wired up.
         let key = |dev: DeviceId, port: PortId| ((dev.0 as u64) << 16) | u64::from(port.0);
-        self.links.insert(
-            (a, a_port),
-            Endpoint { peer: b, peer_port: b_port, latency, profile, key: key(a, a_port), sent: 0 },
-        );
-        self.links.insert(
-            (b, b_port),
-            Endpoint { peer: a, peer_port: a_port, latency, profile, key: key(b, b_port), sent: 0 },
-        );
+        self.links[self.port_base[a.0] as usize + usize::from(a_port.0)] = Some(Endpoint {
+            peer: b,
+            peer_port: b_port,
+            latency,
+            profile,
+            key: key(a, a_port),
+            sent: 0,
+        });
+        self.links[self.port_base[b.0] as usize + usize::from(b_port.0)] = Some(Endpoint {
+            peer: a,
+            peer_port: a_port,
+            latency,
+            profile,
+            key: key(b, b_port),
+            sent: 0,
+        });
         Ok(())
     }
 
@@ -295,7 +318,15 @@ impl Simulator {
     fn apply_actions(&mut self, from: DeviceId, actions: &mut Vec<Action>) {
         for action in actions.drain(..) {
             match action {
-                Action::Send { port, bytes } => match self.links.get_mut(&(from, port)) {
+                Action::Send { port, bytes } => match {
+                    let slot = self.port_base[from.0] as usize + usize::from(port.0);
+                    let limit = self.port_base[from.0 + 1] as usize;
+                    if slot < limit {
+                        self.links[slot].as_mut()
+                    } else {
+                        None
+                    }
+                } {
                     Some(ep) => {
                         let (peer, peer_port, latency, profile, key) =
                             (ep.peer, ep.peer_port, ep.latency, ep.profile, ep.key);
