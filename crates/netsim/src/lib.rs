@@ -50,6 +50,7 @@ mod standalone;
 mod switch;
 mod time;
 mod trace;
+mod wheel;
 
 pub use device::{Device, DeviceCtx, DeviceId, PortId};
 pub use error::NetsimError;
@@ -65,3 +66,4 @@ pub use switch::{
 };
 pub use time::SimTime;
 pub use trace::{Trace, TracedFrame};
+pub use wheel::TimingWheel;

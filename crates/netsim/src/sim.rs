@@ -1,7 +1,5 @@
 //! The discrete-event simulation engine.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
 use arpshield_trace::{FrameKind, Tracer};
@@ -13,6 +11,7 @@ use crate::impair::{self, LinkProfile};
 use crate::rng::SimRng;
 use crate::time::SimTime;
 use crate::trace::{Trace, TracedFrame};
+use crate::wheel::TimingWheel;
 
 /// Aggregate counters over everything that crossed the wire.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -70,30 +69,6 @@ enum EventKind {
     },
 }
 
-#[derive(Debug)]
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// A deterministic single-segment network simulator.
 ///
 /// Add devices, connect their ports with latencied links, and run. Events
@@ -102,7 +77,6 @@ impl Ord for Event {
 #[derive(Debug)]
 pub struct Simulator {
     now: SimTime,
-    seq: u64,
     started: bool,
     devices: Vec<Box<dyn Device>>,
     /// Index-addressed link arena: device `d`'s ports occupy slots
@@ -114,7 +88,9 @@ pub struct Simulator {
     /// Cumulative port offsets into `links`, one entry per device plus
     /// a trailing sentinel, so `port_base.len() == devices.len() + 1`.
     port_base: Vec<u32>,
-    queue: BinaryHeap<Reverse<Event>>,
+    /// The event core: a hierarchical timing wheel preserving the
+    /// `(timestamp, insertion)` dispatch order the heap gave.
+    queue: TimingWheel<EventKind>,
     rng: SimRng,
     impair_seed: u64,
     default_profile: LinkProfile,
@@ -141,12 +117,11 @@ impl Simulator {
     pub fn new(seed: u64) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            seq: 0,
             started: false,
             devices: Vec::new(),
             links: Vec::new(),
             port_base: vec![0],
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             rng: SimRng::new(seed),
             impair_seed: seed ^ IMPAIR_SEED_SALT,
             default_profile: LinkProfile::PERFECT,
@@ -293,9 +268,7 @@ impl Simulator {
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
+        self.queue.push(at, kind);
     }
 
     fn start(&mut self) {
@@ -430,12 +403,12 @@ impl Simulator {
     /// Dispatches the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         self.start();
-        let Some(Reverse(event)) = self.queue.pop() else {
+        let Some((at, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(event.at >= self.now, "event queue went backwards");
-        self.now = event.at;
-        match event.kind {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        match kind {
             EventKind::Deliver { dst, port, bytes, src, src_port, sent_at, dup } => {
                 self.stats.frames += 1;
                 self.stats.bytes += bytes.len() as u64;
@@ -492,8 +465,8 @@ impl Simulator {
     pub fn run_until(&mut self, deadline: SimTime) {
         self.start();
         loop {
-            match self.queue.peek() {
-                Some(Reverse(ev)) if ev.at <= deadline => {
+            match self.queue.next_at() {
+                Some(at) if at <= deadline => {
                     self.step();
                 }
                 _ => break,

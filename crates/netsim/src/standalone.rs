@@ -9,27 +9,26 @@
 //! buffer that collects whatever the device transmits.
 //!
 //! Steady state allocates nothing: the action scratch vector and the
-//! send buffer are reused across frames, and timers live in a
-//! [`BinaryHeap`] that only grows to the high-water mark of concurrently
-//! pending timers.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! send buffer are reused across frames, and timers live in the same
+//! [`TimingWheel`] the simulator dispatches from, whose slot vectors
+//! only grow to the high-water mark of concurrently pending timers.
 
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
 use crate::frame::Frame;
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::wheel::TimingWheel;
 
 /// Drives one device's callbacks from an external frame source.
 #[derive(Debug)]
 pub struct StandaloneDriver {
     now: SimTime,
     rng: SimRng,
-    /// Pending timers: `(due, sequence, token)` min-ordered, matching the
-    /// simulator's tie-break (earlier scheduling wins at equal due times).
-    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-    seq: u64,
+    /// Pending timer tokens, `(due, scheduling sequence)` min-ordered —
+    /// the exact scheduler the simulator dispatches from, so the
+    /// tie-break (earlier scheduling wins at equal due times) is shared
+    /// rather than reimplemented.
+    timers: TimingWheel<u64>,
     actions: Vec<Action>,
     sends: Vec<(PortId, Frame)>,
     /// Timers fired so far.
@@ -42,8 +41,7 @@ impl StandaloneDriver {
         StandaloneDriver {
             now: SimTime::ZERO,
             rng: SimRng::new(seed),
-            timers: BinaryHeap::new(),
-            seq: 0,
+            timers: TimingWheel::new(),
             actions: Vec::new(),
             sends: Vec::new(),
             timers_fired: 0,
@@ -71,11 +69,11 @@ impl StandaloneDriver {
     /// the way in (due, sequence) order — including timers those firings
     /// schedule, as long as they are due by `to`.
     pub fn advance_to(&mut self, device: &mut dyn Device, to: SimTime) {
-        while let Some(Reverse((due, _, _))) = self.timers.peek().copied() {
+        while let Some(due) = self.timers.next_at() {
             if due > to {
                 break;
             }
-            let Reverse((due, _, token)) = self.timers.pop().expect("peeked");
+            let (due, token) = self.timers.pop().expect("peeked");
             self.now = self.now.max(due);
             self.timers_fired += 1;
             let mut ctx =
@@ -109,8 +107,7 @@ impl StandaloneDriver {
                 Action::Send { port, bytes } => self.sends.push((port, bytes)),
                 Action::Schedule { delay, token } => {
                     let due = self.now.checked_add(delay).unwrap_or(SimTime::from_nanos(u64::MAX));
-                    self.timers.push(Reverse((due, self.seq, token)));
-                    self.seq += 1;
+                    self.timers.push(due, token);
                 }
             }
         }
