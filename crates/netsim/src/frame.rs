@@ -1,7 +1,9 @@
 //! Shared, immutable frame buffers.
 
 use std::ops::Deref;
-use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::pool::{self, FrameBuf};
 
 /// An immutable, reference-counted frame payload.
 ///
@@ -9,72 +11,105 @@ use std::rc::Rc;
 /// frame to all other ports, a switch floods broadcasts and copies
 /// mirror spans, and the trace records every delivery. With `Vec<u8>`
 /// payloads each of those copies re-allocated and re-copied the same
-/// bytes; a `Frame` makes every copy an `Rc` pointer bump sharing one
+/// bytes; a `Frame` makes every copy a reference-count bump sharing one
 /// allocation. `Deref<Target = [u8]>` keeps all parsing code unchanged.
+///
+/// Buffers come from the recycling pool in [`crate::pool`]: dropping
+/// the last handle parks the allocation on a thread-local free list
+/// and the next construction reuses it, so steady-state traffic
+/// allocates nothing per frame. The handle is `Send + Sync`, which is
+/// what lets one simulation eventually shard across threads.
 ///
 /// Frames are immutable by construction — mutating a delivered payload
 /// would retroactively rewrite trace records and in-flight copies — so
 /// devices that transform a frame build a fresh one.
-#[derive(Clone)]
-pub struct Frame(Rc<[u8]>);
+pub struct Frame(Option<Arc<FrameBuf>>);
 
 impl Frame {
+    /// The backing buffer. Only [`Drop`] vacates the slot, so every
+    /// other method can rely on it being present.
+    #[inline]
+    fn buf(&self) -> &Arc<FrameBuf> {
+        self.0.as_ref().expect("frame buffer only vacated during drop")
+    }
+
     /// The payload length in bytes.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.buf().bytes.len()
     }
 
     /// True for zero-length payloads.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.buf().bytes.is_empty()
     }
 
     /// The payload as a byte slice (also available through `Deref`).
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.buf().bytes
     }
 
     /// Number of live handles sharing this buffer (diagnostics only).
     pub fn handle_count(&self) -> usize {
-        Rc::strong_count(&self.0)
+        Arc::strong_count(self.buf())
+    }
+
+    /// How many times this frame's buffer has been recycled through
+    /// the pool (diagnostics only).
+    pub fn buffer_epoch(&self) -> u64 {
+        self.buf().epoch
+    }
+}
+
+impl Clone for Frame {
+    fn clone(&self) -> Frame {
+        Frame(self.0.clone())
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        if let Some(arc) = self.0.take() {
+            pool::recycle(arc);
+        }
     }
 }
 
 impl Deref for Frame {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
-        &self.0
+        &self.buf().bytes
     }
 }
 
 impl AsRef<[u8]> for Frame {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Frame {
     fn from(bytes: Vec<u8>) -> Frame {
-        Frame(Rc::from(bytes))
+        Frame(Some(pool::adopt(bytes)))
     }
 }
 
 impl From<&[u8]> for Frame {
     fn from(bytes: &[u8]) -> Frame {
-        Frame(Rc::from(bytes))
+        Frame(Some(pool::alloc(bytes)))
     }
 }
 
 impl<const N: usize> From<[u8; N]> for Frame {
     fn from(bytes: [u8; N]) -> Frame {
-        Frame(Rc::from(bytes.as_slice()))
+        Frame(Some(pool::alloc(bytes.as_slice())))
     }
 }
 
 impl PartialEq for Frame {
     fn eq(&self, other: &Frame) -> bool {
-        self.0 == other.0
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -82,25 +117,33 @@ impl Eq for Frame {}
 
 impl PartialEq<[u8]> for Frame {
     fn eq(&self, other: &[u8]) -> bool {
-        *self.0 == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Frame {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        *self.0 == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl std::fmt::Debug for Frame {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Frame({} bytes)", self.0.len())
+        write!(f, "Frame({} bytes)", self.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pool exists so parallel sharding stays on the table: the
+    /// handle must be thread-safe.
+    #[test]
+    fn frame_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Frame>();
+    }
 
     #[test]
     fn clones_share_one_buffer() {
@@ -130,5 +173,39 @@ mod tests {
         assert_eq!(from_vec, from_slice);
         assert_eq!(from_vec, from_array);
         assert_eq!(format!("{from_vec:?}"), "Frame(2 bytes)");
+    }
+
+    /// Each test runs on its own thread, so the thread-local free list
+    /// here is fully deterministic: last-dropped is first-reused.
+    #[test]
+    fn dropping_the_last_handle_recycles_the_buffer() {
+        let first = Frame::from(vec![0xFF; 1500]);
+        let ptr = first.as_slice().as_ptr();
+        let epoch = first.buffer_epoch();
+        drop(first);
+        let second = Frame::from(vec![0x01; 64]);
+        assert!(std::ptr::eq(ptr, second.as_slice().as_ptr()), "allocation was reused");
+        assert_eq!(second.buffer_epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn recycled_buffers_never_leak_stale_bytes() {
+        let poison = Frame::from(vec![0xFF; 1500]);
+        drop(poison);
+        let fresh = Frame::from(vec![0x01; 64]);
+        assert_eq!(fresh.buffer_epoch(), 1, "buffer came from the pool");
+        assert_eq!(fresh.len(), 64, "length is the new payload's, not the old capacity");
+        assert!(fresh.iter().all(|&b| b == 0x01), "no stale poison bytes visible");
+    }
+
+    #[test]
+    fn shared_buffers_are_not_recycled_until_the_last_drop() {
+        let a = Frame::from(vec![7u8; 128]);
+        let b = a.clone();
+        drop(a);
+        // `b` still owns the buffer: a new frame must not steal it.
+        let c = Frame::from(vec![8u8; 16]);
+        assert!(!std::ptr::eq(b.as_slice().as_ptr(), c.as_slice().as_ptr()));
+        assert_eq!(b, vec![7u8; 128]);
     }
 }

@@ -44,6 +44,7 @@ mod error;
 mod frame;
 mod hub;
 mod impair;
+mod pool;
 mod rng;
 mod sim;
 mod standalone;

@@ -25,15 +25,24 @@
 //! compares the two heads so far-future entries interleave exactly
 //! where the contract puts them.
 //!
+//! # Storage
+//!
+//! Entries live in one index-addressed node arena; each slot is a FIFO
+//! chain threaded through `u32` links, and spent nodes go on a free
+//! list inside the same arena. Pushing, cascading, and popping
+//! therefore allocate nothing once the arena has grown to the run's
+//! in-flight high-water mark — the counting-allocator benches hold the
+//! whole simulator to a fraction of an allocation per frame.
+//!
 //! # Advancing
 //!
 //! Time only moves at `pop`/`next_at`: the wheel finds the earliest
 //! occupied slot across levels, advances `anchor` to its start, and
 //! either drains it (level 0, where a slot holds exactly one
-//! timestamp) into a seq-sorted ready batch or cascades its entries
-//! down a level and repeats. `anchor` never overtakes the fallback's
-//! head, so a later push at the popped timestamp still lands after
-//! every pending equal-timestamp entry, never before.
+//! timestamp) into a seq-sorted ready batch or cascades its chain down
+//! a level and repeats. `anchor` never overtakes the fallback's head,
+//! so a later push at the popped timestamp still lands after every
+//! pending equal-timestamp entry, never before.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -49,12 +58,17 @@ const LEVELS: usize = 6;
 /// Timestamps differing from `anchor` at or above this bit overflow to
 /// the calendar fallback.
 const WHEEL_BITS: u32 = LEVEL_BITS * LEVELS as u32;
+/// Null link for slot chains and the node free list.
+const NIL: u32 = u32::MAX;
 
+/// An arena node: either a pending entry on a slot chain, or a spent
+/// one on the free list (`item` taken).
 #[derive(Debug)]
-struct Entry<T> {
+struct Node<T> {
     at: u64,
     seq: u64,
-    item: T,
+    next: u32,
+    item: Option<T>,
 }
 
 /// Calendar-fallback entry; ordered by `(at, seq)` only, never by the
@@ -97,12 +111,20 @@ pub struct TimingWheel<T> {
     seq: u64,
     /// Entries resident in wheel slots (excludes `ready` and `far`).
     wheel_len: usize,
-    /// `LEVELS * SLOTS` buckets, level-major.
-    slots: Vec<Vec<Entry<T>>>,
+    /// Node arena; slot chains and the free list both live here.
+    nodes: Vec<Node<T>>,
+    /// Head of the spent-node free list.
+    free: u32,
+    /// Chain head per slot, level-major; [`NIL`] when empty.
+    head: [u32; LEVELS * SLOTS],
+    /// Chain tail per slot, for O(1) FIFO append.
+    tail: [u32; LEVELS * SLOTS],
     /// Per-level slot-occupancy bitmaps.
     occ: [u64; LEVELS],
-    /// The due batch: every entry shares one timestamp, sorted by seq.
-    ready: VecDeque<Entry<T>>,
+    /// The due batch: node indices sharing one timestamp, seq-sorted.
+    ready: VecDeque<u32>,
+    /// Scratch for seq-sorting a drained slot chain.
+    batch: Vec<u32>,
     /// Calendar fallback for beyond-horizon entries.
     far: BinaryHeap<Reverse<Far<T>>>,
 }
@@ -120,9 +142,13 @@ impl<T> TimingWheel<T> {
             anchor: 0,
             seq: 0,
             wheel_len: 0,
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            nodes: Vec::new(),
+            free: NIL,
+            head: [NIL; LEVELS * SLOTS],
+            tail: [NIL; LEVELS * SLOTS],
             occ: [0; LEVELS],
             ready: VecDeque::new(),
+            batch: Vec::new(),
             far: BinaryHeap::new(),
         }
     }
@@ -143,7 +169,27 @@ impl<T> TimingWheel<T> {
         let at = at.as_nanos().max(self.anchor);
         let seq = self.seq;
         self.seq += 1;
-        self.insert(Entry { at, seq, item });
+        if (at ^ self.anchor) >> WHEEL_BITS != 0 {
+            self.far.push(Reverse(Far { at, seq, item }));
+            return;
+        }
+        let node = match self.free {
+            NIL => {
+                self.nodes.push(Node { at, seq, next: NIL, item: Some(item) });
+                (self.nodes.len() - 1) as u32
+            }
+            idx => {
+                let node = &mut self.nodes[idx as usize];
+                self.free = node.next;
+                node.at = at;
+                node.seq = seq;
+                node.next = NIL;
+                node.item = Some(item);
+                idx
+            }
+        };
+        self.link(node);
+        self.wheel_len += 1;
     }
 
     /// The timestamp of the next entry, without removing it.
@@ -151,7 +197,7 @@ impl<T> TimingWheel<T> {
         if self.ready.is_empty() {
             self.pump();
         }
-        let near = self.ready.front().map(|e| e.at);
+        let near = self.ready.front().map(|&n| self.nodes[n as usize].at);
         let far = self.far.peek().map(|Reverse(f)| f.at);
         match (near, far) {
             (Some(n), Some(f)) => Some(n.min(f)),
@@ -166,7 +212,10 @@ impl<T> TimingWheel<T> {
             self.pump();
         }
         let take_far = match (self.ready.front(), self.far.peek()) {
-            (Some(near), Some(Reverse(far))) => (far.at, far.seq) < (near.at, near.seq),
+            (Some(&n), Some(Reverse(far))) => {
+                let near = &self.nodes[n as usize];
+                (far.at, far.seq) < (near.at, near.seq)
+            }
             (None, Some(_)) => true,
             (Some(_), None) => false,
             (None, None) => return None,
@@ -176,27 +225,32 @@ impl<T> TimingWheel<T> {
             self.anchor = self.anchor.max(far.at);
             Some((SimTime::from_nanos(far.at), far.item))
         } else {
-            let entry = self.ready.pop_front().expect("peeked above");
-            Some((SimTime::from_nanos(entry.at), entry.item))
+            let index = self.ready.pop_front().expect("peeked above");
+            let node = &mut self.nodes[index as usize];
+            let at = node.at;
+            let item = node.item.take().expect("ready nodes hold their item");
+            node.next = self.free;
+            self.free = index;
+            Some((SimTime::from_nanos(at), item))
         }
     }
 
-    /// Files an entry into the slot its timestamp hashes to, or the
-    /// calendar fallback when it differs from `anchor` beyond the
-    /// wheel's horizon.
-    fn insert(&mut self, entry: Entry<T>) {
-        debug_assert!(entry.at >= self.anchor);
-        let diff = entry.at ^ self.anchor;
-        if diff >> WHEEL_BITS != 0 {
-            self.far.push(Reverse(Far { at: entry.at, seq: entry.seq, item: entry.item }));
-            return;
-        }
+    /// Appends an in-horizon node to the slot chain its timestamp and
+    /// the current `anchor` hash to.
+    fn link(&mut self, index: u32) {
+        let at = self.nodes[index as usize].at;
+        let diff = at ^ self.anchor;
+        debug_assert!(diff >> WHEEL_BITS == 0 && at >= self.anchor);
         let level = if diff == 0 { 0 } else { ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize };
         let shift = LEVEL_BITS * level as u32;
-        let slot = ((entry.at >> shift) & (SLOTS as u64 - 1)) as usize;
+        let slot = ((at >> shift) & (SLOTS as u64 - 1)) as usize;
+        let chain = level * SLOTS + slot;
+        match self.tail[chain] {
+            NIL => self.head[chain] = index,
+            tail => self.nodes[tail as usize].next = index,
+        }
+        self.tail[chain] = index;
         self.occ[level] |= 1 << slot;
-        self.slots[level * SLOTS + slot].push(entry);
-        self.wheel_len += 1;
     }
 
     /// Advances `anchor` to the earliest occupied slot and fills
@@ -230,23 +284,31 @@ impl<T> TimingWheel<T> {
             let shift = LEVEL_BITS * best_level as u32;
             let slot = ((best_time >> shift) & (SLOTS as u64 - 1)) as usize;
             self.occ[best_level] &= !(1u64 << slot);
-            let index = best_level * SLOTS + slot;
-            // Detach the bucket, drain it, and hand the (now empty)
-            // vector back so its capacity is reused next epoch.
-            let mut batch = std::mem::take(&mut self.slots[index]);
-            self.wheel_len -= batch.len();
+            let chain = best_level * SLOTS + slot;
+            let mut node = self.head[chain];
+            self.head[chain] = NIL;
+            self.tail[chain] = NIL;
             if best_level == 0 {
                 // A level-0 slot holds exactly one timestamp; only the
                 // insertion order within it needs restoring (cascades
                 // may have appended out of seq order).
-                batch.sort_unstable_by_key(|e| e.seq);
-                self.ready.extend(batch.drain(..));
+                self.batch.clear();
+                while node != NIL {
+                    self.batch.push(node);
+                    node = self.nodes[node as usize].next;
+                }
+                self.wheel_len -= self.batch.len();
+                let nodes = &self.nodes;
+                self.batch.sort_unstable_by_key(|&n| nodes[n as usize].seq);
+                self.ready.extend(self.batch.iter().copied());
             } else {
-                for entry in batch.drain(..) {
-                    self.insert(entry);
+                while node != NIL {
+                    let next = self.nodes[node as usize].next;
+                    self.nodes[node as usize].next = NIL;
+                    self.link(node);
+                    node = next;
                 }
             }
-            self.slots[index] = batch;
         }
     }
 }
@@ -338,6 +400,16 @@ mod tests {
         assert_eq!(wheel.next_at(), Some(SimTime::from_secs(300)));
         assert_eq!(wheel.pop(), Some((SimTime::from_secs(300), 0)));
         assert_eq!(wheel.next_at(), None);
+    }
+
+    #[test]
+    fn spent_nodes_are_reused_instead_of_growing_the_arena() {
+        let mut wheel = TimingWheel::new();
+        for round in 0..1000u64 {
+            wheel.push(SimTime::from_nanos(round * 17 + 1), round as u32);
+            wheel.pop();
+        }
+        assert!(wheel.nodes.len() <= 2, "arena grew to {} nodes", wheel.nodes.len());
     }
 
     #[test]
