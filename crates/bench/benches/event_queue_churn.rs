@@ -1,0 +1,158 @@
+//! Event-queue churn: the timing wheel against the binary heap it
+//! replaced.
+//!
+//! The simulator's scheduler sees one workload shape almost
+//! exclusively: a bounded set of in-flight events (frames on wires,
+//! pending timers) where every pop schedules a successor a short delay
+//! ahead — classic hold-model churn. A binary heap pays O(log n) in
+//! comparisons *and* cache misses per operation at every size; the
+//! hierarchical wheel pays O(1) slot arithmetic with an occasional
+//! cascade. Both contenders live in this one bench so the committed
+//! baseline pins the heap-vs-wheel ratio, not just the wheel's own
+//! trajectory.
+//!
+//! Two shapes: `steady_churn` keeps every delay inside the wheel's
+//! ~68.7 s horizon (the pure fast path), `mixed_horizon` sends one
+//! push in 16 far beyond it, forcing traffic through the calendar
+//! fallback the way a long CAM-aging timer rides alongside
+//! microsecond frame deliveries.
+//!
+//! Every run folds the popped sequence into a checksum, and the two
+//! implementations must produce the same one — the bench doubles as an
+//! end-to-end ordering-equivalence check at a scale the unit tests
+//! don't reach.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use arpshield_netsim::{SimTime, TimingWheel};
+use arpshield_testkit::{Criterion, Throughput};
+
+const IN_FLIGHT: usize = 4096;
+const OPS: usize = 65_536;
+
+/// xorshift64*: cheap, deterministic op-stream generator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The simulator schedules almost everything a link latency ahead, and
+/// a LAN has a handful of configured latencies, not a continuum — which
+/// is why equal-timestamp batches dominate real runs.
+const LATENCIES: [u64; 4] = [1_000, 5_000, 10_000, 25_000];
+
+/// Delay for one push: a configured link latency, with an optional
+/// 1-in-16 far-future tail that crosses the wheel horizon (a CAM-aging
+/// timer riding alongside microsecond frame deliveries).
+fn delay(rng: &mut Lcg, far_tail: bool) -> u64 {
+    let raw = rng.next();
+    if far_tail && raw % 16 == 0 {
+        // ~100 s out: beyond the 2^36 ns horizon, onto the fallback.
+        100_000_000_000 + raw % 1_000_000_000
+    } else {
+        LATENCIES[(raw % 4) as usize]
+    }
+}
+
+/// The scheduler the wheel replaced: a min-heap on `(at, seq)`, the
+/// sequence number supplying the equal-timestamp insertion-order
+/// guarantee.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+}
+
+impl HeapQueue {
+    fn push(&mut self, at: u64, item: u32) {
+        self.heap.push(Reverse((at, self.seq, item)));
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        self.heap.pop().map(|Reverse((at, _, item))| (at, item))
+    }
+}
+
+fn fold(acc: u64, at: u64, item: u32) -> u64 {
+    (acc ^ at.wrapping_add(u64::from(item))).rotate_left(7)
+}
+
+/// Hold-model churn through the heap: fill to `IN_FLIGHT`, then pop
+/// one / push one for `OPS` operations, then drain.
+fn churn_heap(far_tail: bool) -> u64 {
+    let mut rng = Lcg(0x5EED_0001);
+    let mut q = HeapQueue::default();
+    let mut acc = 0u64;
+    for i in 0..IN_FLIGHT {
+        q.push(delay(&mut rng, far_tail), i as u32);
+    }
+    for i in 0..OPS {
+        let (at, item) = q.pop().expect("queue stays full during churn");
+        acc = fold(acc, at, item);
+        q.push(at + delay(&mut rng, far_tail), i as u32);
+    }
+    while let Some((at, item)) = q.pop() {
+        acc = fold(acc, at, item);
+    }
+    acc
+}
+
+/// The identical op stream through the timing wheel.
+fn churn_wheel(far_tail: bool) -> u64 {
+    let mut rng = Lcg(0x5EED_0001);
+    let mut q: TimingWheel<u32> = TimingWheel::new();
+    let mut acc = 0u64;
+    for i in 0..IN_FLIGHT {
+        q.push(SimTime::from_nanos(delay(&mut rng, far_tail)), i as u32);
+    }
+    for i in 0..OPS {
+        let (at, item) = q.pop().expect("queue stays full during churn");
+        let now = at.as_nanos();
+        acc = fold(acc, now, item);
+        q.push(SimTime::from_nanos(now + delay(&mut rng, far_tail)), i as u32);
+    }
+    while let Some((at, item)) = q.pop() {
+        acc = fold(acc, at.as_nanos(), item);
+    }
+    acc
+}
+
+fn bench_churn(c: &mut Criterion) {
+    // The wheel must agree with the reference ordering exactly; a
+    // checksum mismatch here means the scheduler swap broke the
+    // determinism contract, and no timing numbers would matter.
+    assert_eq!(churn_wheel(false), churn_heap(false), "steady_churn ordering diverged");
+    assert_eq!(churn_wheel(true), churn_heap(true), "mixed_horizon ordering diverged");
+
+    let mut group = c.benchmark_group("event_queue_churn");
+    group.sample_size(15);
+    group.throughput(Throughput::Elements((IN_FLIGHT + OPS) as u64));
+    group.bench_function("wheel/steady_churn", |b| {
+        b.iter(|| std::hint::black_box(churn_wheel(false)))
+    });
+    group.bench_function("heap/steady_churn", |b| {
+        b.iter(|| std::hint::black_box(churn_heap(false)))
+    });
+    group.bench_function("wheel/mixed_horizon", |b| {
+        b.iter(|| std::hint::black_box(churn_wheel(true)))
+    });
+    group.bench_function("heap/mixed_horizon", |b| {
+        b.iter(|| std::hint::black_box(churn_heap(true)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_churn(&mut criterion);
+    criterion.final_summary();
+}

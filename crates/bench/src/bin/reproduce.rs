@@ -43,7 +43,7 @@ use std::time::Instant;
 use arpshield_core::experiment::{
     f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time, f5_passive_scale,
     f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage, t4_false_positives,
-    t5_cost, t5_resilience, t6_dos_coverage,
+    t5_cost, t5_resilience, t6_dos_coverage, t6_scale, T6S_SIZES,
 };
 use arpshield_core::{taxonomy, Series, Table};
 use arpshield_netsim::SimTime;
@@ -780,6 +780,27 @@ fn run_ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Host counts for the T6S scalability sweep. `ARPSHIELD_T6S_HOSTS`
+/// (comma-separated) overrides the published 1k–100k grid so CI can
+/// smoke the experiment at small sizes.
+fn t6s_sizes() -> Vec<usize> {
+    match std::env::var("ARPSHIELD_T6S_HOSTS") {
+        Ok(spec) => {
+            let sizes: Vec<usize> =
+                spec.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n > 0).collect();
+            if sizes.is_empty() {
+                eprintln!(
+                    "warning: ARPSHIELD_T6S_HOSTS={spec:?} has no valid sizes; using default"
+                );
+                T6S_SIZES.to_vec()
+            } else {
+                sizes
+            }
+        }
+        Err(_) => T6S_SIZES.to_vec(),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
 
@@ -867,6 +888,9 @@ fn main() {
     }
     if want("t6") {
         out.table("t6", || t6_dos_coverage(SEED));
+    }
+    if want("t6s") {
+        out.series("t6s", || t6_scale(SEED, &t6s_sizes()));
     }
     if want("f1") {
         out.series("f1", || f1_detection_latency(SEED, 30));

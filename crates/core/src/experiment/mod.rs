@@ -14,6 +14,7 @@ mod matrix;
 mod overhead;
 mod poisoned;
 mod resilience;
+mod scale;
 
 pub use cost::t5_cost;
 pub use dos_coverage::t6_dos_coverage;
@@ -24,6 +25,7 @@ pub use matrix::{t2_susceptibility, t3_coverage};
 pub use overhead::{f2_overhead, f5_passive_scale};
 pub use poisoned::f4_poisoned_time;
 pub use resilience::{t5_resilience, LOSS_GRID};
+pub use scale::{t6_scale, T6S_SIZES};
 
 /// The scheme subset the detection-latency figure sweeps (the ones that
 /// raise alerts at all).

@@ -1,0 +1,78 @@
+//! T6S: simulator scalability sweep — 10^3 to 10^5 stations.
+//!
+//! Unlike T1–T5 this experiment measures the *simulator*, not a
+//! detection scheme: the timing-wheel scheduler, the recycling frame
+//! pool, and the flat port arena all exist so one simulation can hold
+//! an enterprise-sized segment. The sweep runs the two-tier fabric
+//! from [`crate::scenario::scale`] at increasing station counts and
+//! reports deterministic wire-level rates.
+//!
+//! Wall-clock throughput is printed to **stderr** only: elapsed time
+//! varies run to run, and the CSVs on stdout must stay byte-identical
+//! across reruns and thread counts (the CI smoke diffs
+//! `ARPSHIELD_THREADS=1` against `4`).
+
+use std::time::Instant;
+
+use crate::parallel::run_indexed;
+use crate::report::Series;
+use crate::scenario::scale::{build, ScaleConfig};
+
+/// The default host counts the published sweep covers.
+pub const T6S_SIZES: &[usize] = &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
+
+/// T6S: wire throughput and per-host traffic versus station count.
+///
+/// Two series: frames per simulated second (grows linearly with hosts
+/// while per-station rates are constant — any super-linear bend means
+/// broadcast fan-out or CAM thrash crept in), and wire bytes per host
+/// (flat, for the same reason).
+pub fn t6_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
+    let jobs: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            move || {
+                let config = ScaleConfig::new(seed, n);
+                let mut lan = build(config);
+                let started = Instant::now();
+                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + config.duration);
+                let stats = lan.sim.wire_stats();
+                (stats.frames, stats.bytes, config.duration.as_secs_f64(), started.elapsed())
+            }
+        })
+        .collect();
+
+    let mut frames_rate =
+        Series::new("T6S: frames per simulated second vs hosts", "hosts", "frames_per_sim_sec");
+    let mut bytes_per_host =
+        Series::new("T6S: wire bytes per host vs hosts", "hosts", "bytes_per_host");
+    for (&n, (frames, bytes, sim_secs, elapsed)) in sizes.iter().zip(run_indexed(jobs)) {
+        frames_rate.push(n as f64, frames as f64 / sim_secs);
+        bytes_per_host.push(n as f64, bytes as f64 / n as f64);
+        // Wall-clock rate is machine-dependent diagnostics, not data.
+        eprintln!(
+            "t6s: {n} hosts, {frames} frames in {:.2}s wall ({:.0} frames/s wall)",
+            elapsed.as_secs_f64(),
+            frames as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+    }
+    vec![frames_rate, bytes_per_host]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_host_traffic_stays_flat_as_the_lan_grows() {
+        let series = t6_scale(5, &[500, 2_000]);
+        let frames = series[0].points();
+        let per_host = series[1].points();
+        // Linear scaling: 4x hosts => ~4x frames/sec.
+        let ratio = frames[1].1 / frames[0].1;
+        assert!((3.0..5.0).contains(&ratio), "frames/sec ratio {ratio}");
+        // Bytes per host within 20% across sizes (churners amortise).
+        let drift = (per_host[1].1 - per_host[0].1).abs() / per_host[0].1;
+        assert!(drift < 0.2, "bytes/host drifted {drift}");
+    }
+}

@@ -4,7 +4,9 @@
 mod attack;
 mod benign;
 pub mod lan;
+pub mod scale;
 
 pub use attack::{AttackScenario, AttackSpec, CompletedRun};
 pub use benign::{BenignRun, BenignScenario, ChurnConfig};
 pub use lan::{BuiltLan, ScenarioConfig};
+pub use scale::{ScaleConfig, ScaleLan};

@@ -62,6 +62,20 @@ done
 grep -q "scheme.verdict" "$capture_out/t3.timeline"
 rm -rf "$capture_out"
 
+echo "==> reproduce t6s smoke (scale sweep, thread-count byte identity)"
+t6s_out="$(mktemp -d)"
+# Small host counts so the smoke stays fast; the published sweep runs
+# the full 1k-100k grid. The CSVs must be byte-identical whether the
+# sweep points fan out over one worker or four.
+ARPSHIELD_T6S_HOSTS=300,900 ARPSHIELD_THREADS=1 \
+    ./target/release/reproduce t6s --out "$t6s_out/one" >/dev/null 2>&1
+ARPSHIELD_T6S_HOSTS=300,900 ARPSHIELD_THREADS=4 \
+    ./target/release/reproduce t6s --out "$t6s_out/four" >/dev/null 2>&1
+test -s "$t6s_out/one/t6s_0.csv"
+test -s "$t6s_out/one/t6s_1.csv"
+diff -r "$t6s_out/one" "$t6s_out/four"
+rm -rf "$t6s_out"
+
 echo "==> reproduce ingest smoke (capture re-ingest + verdict parity)"
 ingest_out="$(mktemp -d)"
 # Live t3 with a ring large enough that no frame is evicted: re-ingest

@@ -593,3 +593,88 @@ mod trace_invariants {
         }
     }
 }
+
+/// The wheel scheduler and the recycling frame pool are the structures
+/// the 100k-host scale-up rests on; these properties pin the contracts
+/// the rest of the workspace assumes of them.
+mod scheduler_and_pool {
+    use arpshield_testkit::prelude::*;
+
+    properties! {
+        /// The timing wheel is observationally a *stable* min-heap on
+        /// `(timestamp, insertion order)`: any interleaving of pushes
+        /// and pops replays exactly the sequence a seq-tagged
+        /// `BinaryHeap` reference produces — including timestamp ties
+        /// and entries past the ~68.7 s wheel horizon.
+        #[test]
+        fn timing_wheel_matches_heap_order(
+            ops in collection::vec((any::<u64>(), any::<u8>()), 1..200),
+        ) {
+            use arpshield::netsim::{SimTime, TimingWheel};
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+
+            let mut wheel: TimingWheel<usize> = TimingWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+            let mut clock = 0u64;
+            let mut seq = 0u64;
+            for (i, &(raw, kind)) in ops.iter().enumerate() {
+                if kind % 4 == 0 {
+                    let got = wheel.pop().map(|(at, item)| (at.as_nanos(), item));
+                    let want = heap.pop().map(|Reverse((at, _, item))| (at, item));
+                    prop_assert_eq!(got, want);
+                    if let Some((at, _)) = got {
+                        clock = at;
+                    }
+                } else {
+                    // Spread delays across wheel levels: frequent ties,
+                    // mid-horizon scatter, and horizon-crossing jumps
+                    // that exercise the calendar fallback.
+                    let delay = match kind % 4 {
+                        1 => raw % 4,
+                        2 => raw % 10_000_000_000,
+                        _ => raw % 200_000_000_000_000,
+                    };
+                    let at = clock.saturating_add(delay);
+                    wheel.push(SimTime::from_nanos(at), i);
+                    heap.push(Reverse((at, seq, i)));
+                    seq += 1;
+                }
+            }
+            loop {
+                let got = wheel.pop().map(|(at, item)| (at.as_nanos(), item));
+                let want = heap.pop().map(|Reverse((at, _, item))| (at, item));
+                prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// A recycled frame buffer is byte-identical to its new
+        /// payload: nothing a previous frame left in the allocation
+        /// ever leaks through, and a buffer still shared by a live
+        /// clone is never handed to a new frame.
+        #[test]
+        fn frame_recycling_never_leaks_stale_bytes(
+            poison in collection::vec(any::<u8>(), 0..2000),
+            payload in collection::vec(any::<u8>(), 0..2000),
+        ) {
+            use arpshield::netsim::Frame;
+
+            let dirty = Frame::from(poison.clone());
+            prop_assert_eq!(dirty.as_slice(), &poison[..]);
+            drop(dirty);
+            let fresh = Frame::from(payload.clone());
+            prop_assert_eq!(fresh.len(), payload.len());
+            prop_assert_eq!(fresh.as_slice(), &payload[..]);
+            // A live clone pins the buffer: dropping one handle must
+            // not recycle it out from under the survivor.
+            let keep = fresh.clone();
+            drop(fresh);
+            let churn = Frame::from(poison);
+            prop_assert_eq!(keep.as_slice(), &payload[..]);
+            prop_assert!(churn.len() <= 2000);
+        }
+    }
+}
