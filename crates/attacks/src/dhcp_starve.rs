@@ -2,10 +2,10 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
 use arpshield_packet::{
-    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Packet,
-    MacAddr, UdpDatagram, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
+    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Emit,
+    Ipv4Packet, MacAddr, UdpDatagram, UdpEmit, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
 };
 
 use crate::ground_truth::{AttackEvent, AttackKind, GroundTruth};
@@ -70,12 +70,16 @@ impl DhcpStarver {
     }
 
     fn send_dhcp(&mut self, ctx: &mut DeviceCtx<'_>, src_mac: MacAddr, msg: &DhcpMessage) {
-        let dgram = UdpDatagram::new(DHCP_CLIENT_PORT, DHCP_SERVER_PORT, msg.encode())
-            .encode(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST);
+        let dgram = UdpEmit::new(
+            DHCP_CLIENT_PORT,
+            DHCP_SERVER_PORT,
+            Ipv4Addr::UNSPECIFIED,
+            Ipv4Addr::BROADCAST,
+            msg,
+        );
         let pkt =
-            Ipv4Packet::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, src_mac, EtherType::Ipv4, pkt.encode());
-        ctx.send(PortId(0), frame.encode());
+            Ipv4Emit::new(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, IpProtocol::Udp, &dgram);
+        ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, src_mac, EtherType::Ipv4, &pkt));
     }
 }
 

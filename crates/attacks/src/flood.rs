@@ -2,8 +2,8 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
-use arpshield_packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Packet, MacAddr};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
+use arpshield_packet::{EtherType, IpProtocol, Ipv4Addr, Ipv4Emit, MacAddr};
 
 use crate::ground_truth::{AttackEvent, AttackKind, GroundTruth};
 
@@ -100,14 +100,13 @@ impl Device for MacFlooder {
             // macof sends small bogus IPv4/TCP packets; the payload content
             // is irrelevant, the random *source MAC* does the damage.
             let r = ctx.rng().next_u64();
-            let pkt = Ipv4Packet::new(
+            let pkt = Ipv4Emit::new(
                 Ipv4Addr::from_u32((r >> 32) as u32),
                 Ipv4Addr::from_u32(r as u32),
                 IpProtocol::Tcp,
-                vec![0u8; 20],
+                [0u8; 20].as_slice(),
             );
-            let frame = EthernetFrame::new(dst, src, EtherType::Ipv4, pkt.encode());
-            ctx.send(PortId(0), frame.encode());
+            ctx.send(PortId(0), eth_frame(dst, src, EtherType::Ipv4, &pkt));
             self.stats.frames_sent += 1;
             sent_this_burst += 1;
         }
@@ -134,6 +133,7 @@ impl Device for MacFlooder {
 mod tests {
     use super::*;
     use arpshield_netsim::{SimTime, Simulator, Switch, SwitchConfig};
+    use arpshield_packet::EthernetFrame;
 
     #[test]
     fn flood_fills_cam_and_respects_total() {

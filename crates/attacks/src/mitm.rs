@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
 use arpshield_packet::{
     ArpOp, ArpPacket, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Packet, MacAddr,
 };
@@ -71,13 +71,10 @@ impl MitmRelay {
                 target_mac: poisoned_host.1,
                 target_ip: poisoned_host.0,
             };
-            let frame = EthernetFrame::new(
-                poisoned_host.1,
-                c.attacker_mac,
-                EtherType::ARP,
-                forged.encode(),
+            ctx.send(
+                PortId(0),
+                eth_frame(poisoned_host.1, c.attacker_mac, EtherType::ARP, &forged),
             );
-            ctx.send(PortId(0), frame.encode());
             self.truth.record(AttackEvent {
                 at: ctx.now(),
                 attacker: c.attacker_mac,
@@ -134,9 +131,10 @@ impl Device for MitmRelay {
         self.stats.intercepted_bytes += pkt.payload.len() as u64;
         // An attacker could tamper here; we relay verbatim to stay covert.
         let _ = IpProtocol::Udp; // (payload protocols pass through untouched)
-        let out =
-            EthernetFrame::new(real_dst, self.config.attacker_mac, EtherType::Ipv4, eth.payload);
-        ctx.send(PortId(0), out.encode());
+        ctx.send(
+            PortId(0),
+            eth_frame(real_dst, self.config.attacker_mac, EtherType::Ipv4, &eth.payload[..]),
+        );
     }
 }
 

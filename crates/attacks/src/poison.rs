@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, MacAddr};
 
 use crate::ground_truth::{AttackEvent, AttackKind, GroundTruth};
@@ -172,9 +172,7 @@ impl ArpPoisoner {
     }
 
     fn emit(&mut self, ctx: &mut DeviceCtx<'_>, packet: ArpPacket, dst: MacAddr) {
-        let frame =
-            EthernetFrame::new(dst, self.config.attacker_mac, EtherType::ARP, packet.encode());
-        ctx.send(PortId(0), frame.encode());
+        ctx.send(PortId(0), eth_frame(dst, self.config.attacker_mac, EtherType::ARP, &packet));
         self.emissions += 1;
         self.truth.record(AttackEvent {
             at: ctx.now(),

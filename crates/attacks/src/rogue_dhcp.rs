@@ -7,10 +7,10 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
 use arpshield_packet::{
-    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Packet,
-    MacAddr, UdpDatagram, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
+    DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Addr, Ipv4Emit,
+    Ipv4Packet, MacAddr, UdpDatagram, UdpEmit, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
 };
 
 use crate::ground_truth::{AttackEvent, AttackKind, GroundTruth};
@@ -78,17 +78,19 @@ impl RogueDhcpServer {
             Ipv4Addr::new(255, 255, 255, 0),
             self.config.evil_gateway,
         );
-        let dgram = UdpDatagram::new(DHCP_SERVER_PORT, DHCP_CLIENT_PORT, msg.encode())
-            .encode(self.config.server_ip, Ipv4Addr::BROADCAST);
-        let pkt =
-            Ipv4Packet::new(self.config.server_ip, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
-        let frame = EthernetFrame::new(
-            client.chaddr,
-            self.config.attacker_mac,
-            EtherType::Ipv4,
-            pkt.encode(),
+        let dgram = UdpEmit::new(
+            DHCP_SERVER_PORT,
+            DHCP_CLIENT_PORT,
+            self.config.server_ip,
+            Ipv4Addr::BROADCAST,
+            &msg,
         );
-        ctx.send(PortId(0), frame.encode());
+        let pkt =
+            Ipv4Emit::new(self.config.server_ip, Ipv4Addr::BROADCAST, IpProtocol::Udp, &dgram);
+        ctx.send(
+            PortId(0),
+            eth_frame(client.chaddr, self.config.attacker_mac, EtherType::Ipv4, &pkt),
+        );
         self.truth.record(AttackEvent {
             at: ctx.now(),
             attacker: self.config.attacker_mac,

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId};
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame, Ipv4Addr, Ipv4Cidr, MacAddr};
 
 use crate::ground_truth::{AttackEvent, AttackKind, GroundTruth};
@@ -88,13 +88,10 @@ impl Device for ArpScanner {
         };
         self.next_host += 1;
         let request = ArpPacket::request(self.config.attacker_mac, self.config.source_ip, target);
-        let frame = EthernetFrame::new(
-            MacAddr::BROADCAST,
-            self.config.attacker_mac,
-            EtherType::ARP,
-            request.encode(),
+        ctx.send(
+            PortId(0),
+            eth_frame(MacAddr::BROADCAST, self.config.attacker_mac, EtherType::ARP, &request),
         );
-        ctx.send(PortId(0), frame.encode());
         self.stats.requests_sent += 1;
         self.truth.record(AttackEvent {
             at: ctx.now(),

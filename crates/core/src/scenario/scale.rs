@@ -23,10 +23,10 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId, Simulator, Switch, SwitchConfig, SwitchHandle};
-use arpshield_packet::{
-    ArpOp, ArpPacket, EtherType, EthernetFrame, EthernetView, Ipv4Addr, MacAddr,
+use arpshield_netsim::{
+    eth_frame, Device, DeviceCtx, PortId, Simulator, Switch, SwitchConfig, SwitchHandle,
 };
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetView, Ipv4Addr, MacAddr};
 
 /// Hosts per leaf switch; the uplink rides on one extra port.
 pub const LEAF_CAPACITY: usize = 1024;
@@ -128,16 +128,13 @@ impl Device for ScaleHost {
                 // Directed refresh of a cache entry we already hold:
                 // unicast to the gateway, no flood.
                 let arp = ArpPacket::request(self.mac, self.ip, GATEWAY_IP);
-                let frame = EthernetFrame::new(GATEWAY_MAC, self.mac, EtherType::ARP, arp.encode());
-                ctx.send(PortId(0), frame.encode());
+                ctx.send(PortId(0), eth_frame(GATEWAY_MAC, self.mac, EtherType::ARP, &arp));
                 ctx.schedule_in(self.chat_period, CHAT_TOKEN);
             }
             CHURN_TOKEN => {
                 // A fresh lease announces its binding to the segment.
                 let arp = ArpPacket::gratuitous(ArpOp::Reply, self.mac, self.ip);
-                let frame =
-                    EthernetFrame::new(MacAddr::BROADCAST, self.mac, EtherType::ARP, arp.encode());
-                ctx.send(PortId(0), frame.encode());
+                ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, self.mac, EtherType::ARP, &arp));
                 if let Some((period, _)) = self.churn {
                     ctx.schedule_in(period, CHURN_TOKEN);
                 }
@@ -163,9 +160,7 @@ impl Device for ScaleGateway {
     }
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let arp = ArpPacket::gratuitous(ArpOp::Reply, GATEWAY_MAC, GATEWAY_IP);
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, GATEWAY_MAC, EtherType::ARP, arp.encode());
-        ctx.send(PortId(0), frame.encode());
+        ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, GATEWAY_MAC, EtherType::ARP, &arp));
     }
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
         let Ok(view) = EthernetView::parse(frame) else { return };
@@ -176,9 +171,7 @@ impl Device for ScaleGateway {
         if arp.op == ArpOp::Request && arp.target_ip == GATEWAY_IP && !arp.is_gratuitous() {
             self.replies += 1;
             let reply = ArpPacket::reply_to(&arp, GATEWAY_MAC);
-            let out =
-                EthernetFrame::new(arp.sender_mac, GATEWAY_MAC, EtherType::ARP, reply.encode());
-            ctx.send(PortId(0), out.encode());
+            ctx.send(PortId(0), eth_frame(arp.sender_mac, GATEWAY_MAC, EtherType::ARP, &reply));
         }
     }
 }

@@ -93,7 +93,7 @@ impl DhcpClient {
 
     fn broadcast(&self, api: &mut HostApi<'_, '_>, msg: &DhcpMessage) {
         api.core.stats.borrow_mut().dhcp_sent += 1;
-        api.core.send_udp_broadcast(api.ctx, DHCP_CLIENT_PORT, DHCP_SERVER_PORT, msg.encode());
+        api.core.send_udp_broadcast(api.ctx, DHCP_CLIENT_PORT, DHCP_SERVER_PORT, msg);
     }
 
     pub(crate) fn on_timer(&mut self, api: &mut HostApi<'_, '_>, payload: u32) {

@@ -172,7 +172,7 @@ impl DhcpServer {
             Ipv4Addr::BROADCAST,
             DHCP_SERVER_PORT,
             DHCP_CLIENT_PORT,
-            msg.encode(),
+            &msg,
         );
     }
 

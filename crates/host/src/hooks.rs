@@ -3,9 +3,9 @@
 
 use std::time::Duration;
 
-use arpshield_netsim::DeviceCtx;
+use arpshield_netsim::{eth_frame, DeviceCtx, PortId};
 use arpshield_packet::{
-    ArpPacket, EthernetFrame, IcmpMessage, Ipv4Addr, Ipv4Cidr, MacAddr, UdpDatagram,
+    ArpPacket, EtherType, EthernetFrame, IcmpMessage, Ipv4Addr, Ipv4Cidr, MacAddr, UdpDatagram,
 };
 
 use crate::arp::EntryOrigin;
@@ -135,13 +135,7 @@ impl HostApi<'_, '_> {
     pub fn send_arp_probe(&mut self, target_ip: Ipv4Addr) {
         let mac = self.mac();
         let probe = ArpPacket::request(mac, Ipv4Addr::UNSPECIFIED, target_ip);
-        let frame = EthernetFrame::new(
-            MacAddr::BROADCAST,
-            mac,
-            arpshield_packet::EtherType::ARP,
-            probe.encode(),
-        );
-        self.send_frame(&frame);
+        self.ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, mac, EtherType::ARP, &probe));
         self.core.stats.borrow_mut().arp_requests_sent += 1;
     }
 

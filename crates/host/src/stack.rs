@@ -4,10 +4,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, Frame, PortId};
 use arpshield_packet::{
     ArpOp, ArpPacket, EtherType, EthernetFrame, IcmpMessage, IcmpType, IpProtocol, Ipv4Addr,
-    Ipv4Cidr, Ipv4Packet, MacAddr, UdpDatagram,
+    Ipv4Cidr, Ipv4Emit, Ipv4Packet, MacAddr, UdpDatagram, UdpEmit, WireEmit,
 };
 use arpshield_trace::Tracer;
 
@@ -198,7 +198,9 @@ pub struct HostCore {
 
 impl HostCore {
     pub(crate) fn send_frame(&mut self, ctx: &mut DeviceCtx<'_>, frame: &EthernetFrame) {
-        ctx.send(PortId(0), frame.encode());
+        // The owned header fields and payload are emitted straight into a
+        // recycled pool buffer: one in-place encode, zero intermediate Vecs.
+        ctx.send(PortId(0), Frame::from_wire(frame));
     }
 
     pub(crate) fn send_arp_request(&mut self, ctx: &mut DeviceCtx<'_>, target_ip: Ipv4Addr) {
@@ -207,9 +209,8 @@ impl HostCore {
             (iface.mac(), iface.ip().unwrap_or(Ipv4Addr::UNSPECIFIED))
         };
         let arp = ArpPacket::request(mac, ip, target_ip);
-        let frame = EthernetFrame::new(MacAddr::BROADCAST, mac, EtherType::ARP, arp.encode());
         self.stats.borrow_mut().arp_requests_sent += 1;
-        self.send_frame(ctx, &frame);
+        ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, mac, EtherType::ARP, &arp));
     }
 
     pub(crate) fn maybe_announce(&mut self, ctx: &mut DeviceCtx<'_>) {
@@ -222,28 +223,26 @@ impl HostCore {
         };
         if let Some(ip) = ip {
             let arp = ArpPacket::gratuitous(ArpOp::Request, mac, ip);
-            let frame = EthernetFrame::new(MacAddr::BROADCAST, mac, EtherType::ARP, arp.encode());
             self.stats.borrow_mut().arp_requests_sent += 1;
-            self.send_frame(ctx, &frame);
+            ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, mac, EtherType::ARP, &arp));
         }
     }
 
-    fn transmit_ipv4(
+    fn transmit_ipv4<P: WireEmit + ?Sized>(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         dst_mac: MacAddr,
         dst_ip: Ipv4Addr,
         protocol: IpProtocol,
-        payload: Vec<u8>,
+        payload: &P,
     ) {
         let (mac, src_ip) = {
             let iface = self.iface.borrow();
             (iface.mac(), iface.ip().unwrap_or(Ipv4Addr::UNSPECIFIED))
         };
-        let pkt = Ipv4Packet::new(src_ip, dst_ip, protocol, payload);
-        let frame = EthernetFrame::new(dst_mac, mac, EtherType::Ipv4, pkt.encode());
+        let pkt = Ipv4Emit::new(src_ip, dst_ip, protocol, payload);
         self.stats.borrow_mut().ipv4_sent += 1;
-        self.send_frame(ctx, &frame);
+        ctx.send(PortId(0), eth_frame(dst_mac, mac, EtherType::Ipv4, &pkt));
     }
 
     /// Sends an IPv4 payload toward `dst`, resolving the next hop through
@@ -256,7 +255,7 @@ impl HostCore {
         payload: Vec<u8>,
     ) {
         if dst.is_limited_broadcast() {
-            self.transmit_ipv4(ctx, MacAddr::BROADCAST, dst, protocol, payload);
+            self.transmit_ipv4(ctx, MacAddr::BROADCAST, dst, protocol, &payload[..]);
             return;
         }
         let next_hop = self.iface.borrow().next_hop(dst);
@@ -266,7 +265,7 @@ impl HostCore {
         };
         let cached = self.cache.borrow().lookup(ctx.now(), next_hop);
         match cached {
-            Some(mac) => self.transmit_ipv4(ctx, mac, dst, protocol, payload),
+            Some(mac) => self.transmit_ipv4(ctx, mac, dst, protocol, &payload[..]),
             None => {
                 let fresh = self.resolver.enqueue(
                     ctx.now(),
@@ -284,31 +283,30 @@ impl HostCore {
         }
     }
 
-    pub(crate) fn send_udp_broadcast(
+    pub(crate) fn send_udp_broadcast<P: WireEmit + ?Sized>(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         src_port: u16,
         dst_port: u16,
-        payload: Vec<u8>,
+        payload: &P,
     ) {
         let src_ip = self.iface.borrow().ip().unwrap_or(Ipv4Addr::UNSPECIFIED);
-        let dgram =
-            UdpDatagram::new(src_port, dst_port, payload).encode(src_ip, Ipv4Addr::BROADCAST);
-        self.transmit_ipv4(ctx, MacAddr::BROADCAST, Ipv4Addr::BROADCAST, IpProtocol::Udp, dgram);
+        let dgram = UdpEmit::new(src_port, dst_port, src_ip, Ipv4Addr::BROADCAST, payload);
+        self.transmit_ipv4(ctx, MacAddr::BROADCAST, Ipv4Addr::BROADCAST, IpProtocol::Udp, &dgram);
     }
 
-    pub(crate) fn send_udp_to_mac(
+    pub(crate) fn send_udp_to_mac<P: WireEmit + ?Sized>(
         &mut self,
         ctx: &mut DeviceCtx<'_>,
         dst_mac: MacAddr,
         dst_ip: Ipv4Addr,
         src_port: u16,
         dst_port: u16,
-        payload: Vec<u8>,
+        payload: &P,
     ) {
         let src_ip = self.iface.borrow().ip().unwrap_or(Ipv4Addr::UNSPECIFIED);
-        let dgram = UdpDatagram::new(src_port, dst_port, payload).encode(src_ip, dst_ip);
-        self.transmit_ipv4(ctx, dst_mac, dst_ip, IpProtocol::Udp, dgram);
+        let dgram = UdpEmit::new(src_port, dst_port, src_ip, dst_ip, payload);
+        self.transmit_ipv4(ctx, dst_mac, dst_ip, IpProtocol::Udp, &dgram);
     }
 
     /// Flushes packets queued behind the now-resolved `ip`.
@@ -324,7 +322,7 @@ impl HostCore {
                 ctx.now().saturating_since(first_requested).as_nanos() as u64,
             );
             for p in packets {
-                self.transmit_ipv4(ctx, mac, p.dst_ip, p.protocol, p.payload);
+                self.transmit_ipv4(ctx, mac, p.dst_ip, p.protocol, &p.payload[..]);
             }
         }
     }
@@ -553,9 +551,8 @@ impl Host {
         // Answer requests (including RFC 5227 probes) for our address.
         if !is_reply && my_ip.is_some() && Some(arp.target_ip) == my_ip {
             let reply = ArpPacket::reply_to(arp, my_mac);
-            let frame = EthernetFrame::new(arp.sender_mac, my_mac, EtherType::ARP, reply.encode());
             core.stats.borrow_mut().arp_replies_sent += 1;
-            core.send_frame(ctx, &frame);
+            ctx.send(PortId(0), eth_frame(arp.sender_mac, my_mac, EtherType::ARP, &reply));
         }
     }
 
@@ -590,17 +587,11 @@ impl Host {
                     IcmpType::EchoRequest if for_me && core.respond_to_ping => {
                         let reply = IcmpMessage::reply_to(&icmp);
                         // Reply along the reverse L2 path the request took.
-                        let ip_reply = Ipv4Packet::new(
-                            my_ip.unwrap(),
-                            pkt.src,
-                            IpProtocol::Icmp,
-                            reply.encode(),
-                        );
-                        let frame =
-                            EthernetFrame::new(eth.src, my_mac, EtherType::Ipv4, ip_reply.encode());
+                        let ip_reply =
+                            Ipv4Emit::new(my_ip.unwrap(), pkt.src, IpProtocol::Icmp, &reply);
                         core.stats.borrow_mut().icmp_echoes_answered += 1;
                         core.stats.borrow_mut().ipv4_sent += 1;
-                        core.send_frame(ctx, &frame);
+                        ctx.send(PortId(0), eth_frame(eth.src, my_mac, EtherType::Ipv4, &ip_reply));
                     }
                     IcmpType::EchoReply if for_me => {
                         core.stats.borrow_mut().icmp_replies_received += 1;

@@ -3,6 +3,8 @@
 use std::ops::Deref;
 use std::sync::Arc;
 
+use arpshield_packet::{EtherType, EthernetEmit, MacAddr, WireEmit};
+
 use crate::pool::{self, FrameBuf};
 
 /// An immutable, reference-counted frame payload.
@@ -31,6 +33,25 @@ impl Frame {
     #[inline]
     fn buf(&self) -> &Arc<FrameBuf> {
         self.0.as_ref().expect("frame buffer only vacated during drop")
+    }
+
+    /// Builds a frame by encoding in place into a recycled pool buffer.
+    ///
+    /// The closure receives a zeroed `len`-byte slice — the TX frame's
+    /// final resting place — and returns the byte count it wrote, which
+    /// must equal `len` (debug-asserted). With the in-place wire writers
+    /// from `arpshield-packet` this is the zero-copy TX path: headers and
+    /// payload are serialized straight into the pool allocation, so
+    /// steady-state transmission allocates nothing per frame. The
+    /// pre-zeroing doubles as Ethernet min-payload padding and guarantees
+    /// a recycled buffer never exposes its previous tenant's bytes.
+    pub fn build(len: usize, f: impl FnOnce(&mut [u8]) -> usize) -> Frame {
+        Frame(Some(pool::build(len, f)))
+    }
+
+    /// Encodes any in-place wire writer into a pooled frame.
+    pub fn from_wire<P: WireEmit + ?Sized>(value: &P) -> Frame {
+        Frame::build(value.wire_len(), |buf| value.emit(buf))
     }
 
     /// The payload length in bytes.
@@ -125,6 +146,28 @@ impl PartialEq<Vec<u8>> for Frame {
     fn eq(&self, other: &Vec<u8>) -> bool {
         *self.as_slice() == other[..]
     }
+}
+
+/// Builds an Ethernet frame around any in-place payload writer, encoding
+/// header, payload, and min-payload padding straight into a recycled pool
+/// buffer — the one-liner every TX site uses:
+///
+/// ```rust
+/// use arpshield_netsim::eth_frame;
+/// use arpshield_packet::{ArpPacket, EtherType, Ipv4Addr, MacAddr};
+///
+/// let mac = MacAddr::from_index(1);
+/// let arp = ArpPacket::request(mac, Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+/// let frame = eth_frame(MacAddr::BROADCAST, mac, EtherType::ARP, &arp);
+/// assert_eq!(frame.len(), 60); // 14-byte header + 28-byte ARP + padding
+/// ```
+pub fn eth_frame<P: WireEmit + ?Sized>(
+    dst: MacAddr,
+    src: MacAddr,
+    ethertype: EtherType,
+    payload: &P,
+) -> Frame {
+    Frame::from_wire(&EthernetEmit::new(dst, src, ethertype, payload))
 }
 
 impl std::fmt::Debug for Frame {

@@ -55,7 +55,7 @@ mod wheel;
 
 pub use device::{Device, DeviceCtx, DeviceId, PortId};
 pub use error::NetsimError;
-pub use frame::Frame;
+pub use frame::{eth_frame, Frame};
 pub use hub::Hub;
 pub use impair::{FlapSchedule, LinkProfile};
 pub use rng::SimRng;

@@ -84,6 +84,32 @@ pub(crate) fn adopt(src: Vec<u8>) -> Arc<FrameBuf> {
     }
 }
 
+/// Builds a zeroed `len`-byte buffer in place and hands it to `f` to
+/// fill, reusing a recycled buffer when one is available. This is the
+/// zero-copy TX path: in-place wire writers encode straight into the
+/// pool allocation with no intermediate `Vec`. The closure returns the
+/// byte count it wrote, which must equal `len` (debug-asserted) — the
+/// pre-zeroing both guarantees stale bytes from the previous tenant
+/// never show through and provides Ethernet's min-payload padding.
+pub(crate) fn build(len: usize, f: impl FnOnce(&mut [u8]) -> usize) -> Arc<FrameBuf> {
+    let mut arc = match pop_free() {
+        Some(mut arc) => match Arc::get_mut(&mut arc) {
+            Some(buf) => {
+                buf.bytes.clear();
+                buf.bytes.resize(len, 0);
+                buf.epoch += 1;
+                arc
+            }
+            None => Arc::new(FrameBuf { bytes: vec![0; len], epoch: 0 }),
+        },
+        None => Arc::new(FrameBuf { bytes: vec![0; len], epoch: 0 }),
+    };
+    let buf = Arc::get_mut(&mut arc).expect("freshly built buffer has a unique handle");
+    let written = f(&mut buf.bytes);
+    debug_assert_eq!(written, len, "Frame::build closure must fill the stated length");
+    arc
+}
+
 /// Returns a buffer to the free list if `arc` is the last handle and
 /// the list has room; otherwise the allocation is simply released.
 pub(crate) fn recycle(arc: Arc<FrameBuf>) {

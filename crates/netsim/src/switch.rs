@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Duration;
 
-use arpshield_packet::{EthernetFrame, MacAddr};
+use arpshield_packet::{EthernetView, MacAddr};
 use arpshield_trace::Tracer;
 
 use crate::device::{Device, DeviceCtx, PortId};
@@ -165,10 +165,19 @@ pub enum InspectVerdict {
 /// A pluggable ingress filter, invoked on every frame before learning and
 /// forwarding. Dynamic ARP Inspection is implemented as one of these in
 /// `arpshield-schemes`.
+///
+/// The frame arrives as a borrowed [`EthernetView`] over the wire bytes:
+/// inspection sits on the switch's per-frame fast path, where an owned
+/// parse would cost an allocation per ingress frame.
 pub trait FrameInspector {
     /// Inspects a frame arriving on `ingress`; returning
     /// [`InspectVerdict::Deny`] drops it.
-    fn inspect(&mut self, now: SimTime, ingress: PortId, frame: &EthernetFrame) -> InspectVerdict;
+    fn inspect(
+        &mut self,
+        now: SimTime,
+        ingress: PortId,
+        frame: &EthernetView<'_>,
+    ) -> InspectVerdict;
 }
 
 /// Counters exposed by a running switch.
@@ -335,7 +344,7 @@ impl Device for Switch {
             return;
         }
 
-        let Ok(eth) = EthernetFrame::parse(frame) else {
+        let Ok(eth) = EthernetView::parse_strict(frame) else {
             // Unparseable garbage is dropped — but never silently: the
             // drop is counted and attributable to its ingress port.
             self.stats.borrow_mut().dropped_unparseable += 1;
@@ -351,7 +360,10 @@ impl Device for Switch {
             if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, &eth) {
                 self.tracer.count("switch.drop.inspector", 1);
                 self.tracer.event(ctx.now().as_nanos(), "switch.drop.inspector", || {
-                    (self.name.clone(), format!("port={} src={} reason={reason}", port.0, eth.src))
+                    (
+                        self.name.clone(),
+                        format!("port={} src={} reason={reason}", port.0, eth.src()),
+                    )
                 });
                 let mut stats = self.stats.borrow_mut();
                 stats.dropped_inspector += 1;
@@ -365,9 +377,9 @@ impl Device for Switch {
 
         // Port security accounting on the *source* address.
         if let Some(ps) = self.config.port_security {
-            if eth.src.is_unicast() && !eth.src.is_zero() {
+            if eth.src().is_unicast() && !eth.src().is_zero() {
                 let known = self.per_port_macs.entry(port).or_default();
-                if !known.contains(&eth.src) {
+                if !known.contains(&eth.src()) {
                     if known.len() >= ps.max_macs_per_port {
                         self.tracer.count("switch.drop.port_security", 1);
                         self.tracer.event(
@@ -378,7 +390,9 @@ impl Device for Switch {
                                     self.name.clone(),
                                     format!(
                                         "port={} src={} action={:?}",
-                                        port.0, eth.src, ps.violation
+                                        port.0,
+                                        eth.src(),
+                                        ps.violation
                                     ),
                                 )
                             },
@@ -391,14 +405,14 @@ impl Device for Switch {
                         }
                         return;
                     }
-                    known.insert(eth.src);
+                    known.insert(eth.src());
                 }
             }
         }
 
         // Source learning.
-        if eth.src.is_unicast() && !eth.src.is_zero() {
-            let outcome = self.cam.borrow_mut().learn(ctx.now(), eth.src, port);
+        if eth.src().is_unicast() && !eth.src().is_zero() {
+            let outcome = self.cam.borrow_mut().learn(ctx.now(), eth.src(), port);
             match outcome {
                 LearnOutcome::Learned => self.tracer.count("switch.learn.new", 1),
                 LearnOutcome::Refreshed => self.tracer.count("switch.learn.refreshed", 1),
@@ -407,7 +421,7 @@ impl Device for Switch {
                     self.tracer.event(ctx.now().as_nanos(), "switch.cam.moved", || {
                         (
                             self.name.clone(),
-                            format!("src={} moved port {}->{}", eth.src, from.0, port.0),
+                            format!("src={} moved port {}->{}", eth.src(), from.0, port.0),
                         )
                     });
                 }
@@ -418,7 +432,7 @@ impl Device for Switch {
                             self.name.clone(),
                             format!(
                                 "src={} port={} occupancy={} fail_mode={:?}",
-                                eth.src,
+                                eth.src(),
                                 port.0,
                                 self.cam.borrow().occupancy(),
                                 self.config.fail_mode
@@ -439,7 +453,7 @@ impl Device for Switch {
         // when the frame's own egress *is* the mirror port (it would
         // otherwise arrive twice there).
         let unicast_out =
-            if eth.dst.is_unicast() { self.cam.borrow().lookup(eth.dst) } else { None };
+            if eth.dst().is_unicast() { self.cam.borrow().lookup(eth.dst()) } else { None };
 
         // Every egress copy below — mirror, unicast forward, flood —
         // shares the ingress frame's buffer instead of re-allocating it.
@@ -452,7 +466,7 @@ impl Device for Switch {
             }
         }
 
-        if eth.dst.is_unicast() {
+        if eth.dst().is_unicast() {
             if let Some(out) = unicast_out {
                 if out != port && !self.stats.borrow().shutdown_ports.contains(&out) {
                     ctx.send(out, shared.clone());
@@ -473,7 +487,7 @@ mod tests {
     use super::*;
     use crate::sim::Simulator;
     use crate::time::SimTime;
-    use arpshield_packet::EtherType;
+    use arpshield_packet::{EtherType, EthernetFrame};
 
     fn frame(src: MacAddr, dst: MacAddr) -> Vec<u8> {
         EthernetFrame::new(dst, src, EtherType::Other(0x1234), vec![0; 46]).encode()
@@ -754,7 +768,7 @@ mod tests {
     fn inspector_can_drop_frames() {
         struct DenyAll;
         impl FrameInspector for DenyAll {
-            fn inspect(&mut self, _: SimTime, _: PortId, _: &EthernetFrame) -> InspectVerdict {
+            fn inspect(&mut self, _: SimTime, _: PortId, _: &EthernetView<'_>) -> InspectVerdict {
                 InspectVerdict::Deny { reason: "test".into() }
             }
         }

@@ -129,18 +129,11 @@ impl ArpPacket {
     }
 
     /// Serializes to the 28-byte wire form.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(ARP_WIRE_LEN);
-        buf.extend_from_slice(&1u16.to_be_bytes()); // htype: Ethernet
-        buf.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype: IPv4
-        buf.push(6); // hlen
-        buf.push(4); // plen
-        buf.extend_from_slice(&self.op.to_u16().to_be_bytes());
-        buf.extend_from_slice(self.sender_mac.as_bytes());
-        buf.extend_from_slice(&self.sender_ip.octets());
-        buf.extend_from_slice(self.target_mac.as_bytes());
-        buf.extend_from_slice(&self.target_ip.octets());
-        buf
+        crate::wire::emit_to_vec(self)
     }
 
     /// Parses the 28-byte wire form, ignoring Ethernet padding beyond it.

@@ -12,8 +12,11 @@ pub const DHCP_SERVER_PORT: u16 = 67;
 /// UDP port the DHCP client listens on.
 pub const DHCP_CLIENT_PORT: u16 = 68;
 
-const MAGIC_COOKIE: [u8; 4] = [99, 130, 83, 99];
-const FIXED_LEN: usize = 236;
+pub(crate) const DHCP_MAGIC_COOKIE: [u8; 4] = [99, 130, 83, 99];
+pub(crate) const DHCP_FIXED_LEN: usize = 236;
+
+const MAGIC_COOKIE: [u8; 4] = DHCP_MAGIC_COOKIE;
+const FIXED_LEN: usize = DHCP_FIXED_LEN;
 
 /// BOOTP op field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,31 +141,50 @@ pub enum DhcpOption {
 }
 
 impl DhcpOption {
-    fn encode_into(&self, buf: &mut Vec<u8>) {
+    /// Encoded length including the code and length bytes.
+    pub(crate) fn encoded_len(&self) -> usize {
         match self {
-            DhcpOption::SubnetMask(a) => push_addr(buf, 1, *a),
-            DhcpOption::Router(a) => push_addr(buf, 3, *a),
-            DhcpOption::DnsServer(a) => push_addr(buf, 6, *a),
-            DhcpOption::RequestedIp(a) => push_addr(buf, 50, *a),
+            DhcpOption::SubnetMask(_)
+            | DhcpOption::Router(_)
+            | DhcpOption::DnsServer(_)
+            | DhcpOption::RequestedIp(_)
+            | DhcpOption::ServerId(_)
+            | DhcpOption::LeaseTime(_) => 6,
+            DhcpOption::MessageType(_) => 3,
+            DhcpOption::Other(_, data) => 2 + data.len(),
+        }
+    }
+
+    /// Writes the option at `buf[at..]`, returning its encoded length.
+    pub(crate) fn emit_at(&self, buf: &mut [u8], at: usize) -> usize {
+        let len = self.encoded_len();
+        let out = &mut buf[at..at + len];
+        match self {
+            DhcpOption::SubnetMask(a) => emit_addr(out, 1, *a),
+            DhcpOption::Router(a) => emit_addr(out, 3, *a),
+            DhcpOption::DnsServer(a) => emit_addr(out, 6, *a),
+            DhcpOption::RequestedIp(a) => emit_addr(out, 50, *a),
             DhcpOption::LeaseTime(t) => {
-                buf.extend_from_slice(&[51, 4]);
-                buf.extend_from_slice(&t.to_be_bytes());
+                out[0] = 51;
+                out[1] = 4;
+                out[2..6].copy_from_slice(&t.to_be_bytes());
             }
-            DhcpOption::MessageType(t) => buf.extend_from_slice(&[53, 1, t.to_u8()]),
-            DhcpOption::ServerId(a) => push_addr(buf, 54, *a),
+            DhcpOption::MessageType(t) => out.copy_from_slice(&[53, 1, t.to_u8()]),
+            DhcpOption::ServerId(a) => emit_addr(out, 54, *a),
             DhcpOption::Other(code, data) => {
-                buf.push(*code);
-                buf.push(data.len() as u8);
-                buf.extend_from_slice(data);
+                out[0] = *code;
+                out[1] = data.len() as u8;
+                out[2..].copy_from_slice(data);
             }
         }
+        len
     }
 }
 
-fn push_addr(buf: &mut Vec<u8>, code: u8, addr: Ipv4Addr) {
-    buf.push(code);
-    buf.push(4);
-    buf.extend_from_slice(&addr.octets());
+fn emit_addr(out: &mut [u8], code: u8, addr: Ipv4Addr) {
+    out[0] = code;
+    out[1] = 4;
+    out[2..6].copy_from_slice(&addr.octets());
 }
 
 /// A DHCP message.
@@ -303,29 +325,11 @@ impl DhcpMessage {
     }
 
     /// Serializes BOOTP fixed fields, magic cookie, options, and end marker.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(FIXED_LEN + 64);
-        buf.push(self.op.to_u8());
-        buf.push(1); // htype Ethernet
-        buf.push(6); // hlen
-        buf.push(0); // hops
-        buf.extend_from_slice(&self.xid.to_be_bytes());
-        buf.extend_from_slice(&[0, 0]); // secs
-        buf.extend_from_slice(&[0x80, 0]); // flags: broadcast
-        buf.extend_from_slice(&self.ciaddr.octets());
-        buf.extend_from_slice(&self.yiaddr.octets());
-        buf.extend_from_slice(&self.siaddr.octets());
-        buf.extend_from_slice(&[0; 4]); // giaddr
-        buf.extend_from_slice(self.chaddr.as_bytes());
-        buf.extend_from_slice(&[0; 10]); // chaddr padding
-        buf.extend_from_slice(&[0; 64]); // sname
-        buf.extend_from_slice(&[0; 128]); // file
-        buf.extend_from_slice(&MAGIC_COOKIE);
-        for opt in &self.options {
-            opt.encode_into(&mut buf);
-        }
-        buf.push(255); // end
-        buf
+        crate::wire::emit_to_vec(self)
     }
 
     /// Parses a DHCP message.

@@ -139,20 +139,11 @@ impl EthernetFrame {
 
     /// Serializes the frame, zero-padding the payload to the 46-byte minimum
     /// and emitting a single 802.1Q tag when [`vlan`](Self::vlan) is set.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self) -> Vec<u8> {
-        let tag_len = if self.vlan.is_some() { ETHERNET_VLAN_TAG_LEN } else { 0 };
-        let payload_len = self.payload.len().max(ETHERNET_MIN_PAYLOAD);
-        let mut buf = Vec::with_capacity(ETHERNET_HEADER_LEN + tag_len + payload_len);
-        buf.extend_from_slice(self.dst.as_bytes());
-        buf.extend_from_slice(self.src.as_bytes());
-        if let Some(vid) = self.vlan {
-            buf.extend_from_slice(&EtherType::Vlan.to_u16().to_be_bytes());
-            buf.extend_from_slice(&(vid & 0x0FFF).to_be_bytes());
-        }
-        buf.extend_from_slice(&self.ethertype.to_u16().to_be_bytes());
-        buf.extend_from_slice(&self.payload);
-        buf.resize(ETHERNET_HEADER_LEN + tag_len + payload_len, 0);
-        buf
+        crate::wire::emit_to_vec(self)
     }
 
     /// Parses a frame from raw bytes, unwrapping any 802.1Q/802.1ad tags.

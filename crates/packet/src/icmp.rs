@@ -71,17 +71,11 @@ impl IcmpMessage {
     }
 
     /// Serializes with checksum.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(8 + self.payload.len());
-        buf.push(self.icmp_type.to_u8());
-        buf.push(0); // code
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&self.identifier.to_be_bytes());
-        buf.extend_from_slice(&self.sequence.to_be_bytes());
-        buf.extend_from_slice(&self.payload);
-        let ck = internet_checksum(&buf);
-        buf[2..4].copy_from_slice(&ck.to_be_bytes());
-        buf
+        crate::wire::emit_to_vec(self)
     }
 
     /// Parses and verifies the checksum.

@@ -252,23 +252,11 @@ impl Ipv4Packet {
     }
 
     /// Serializes header plus payload, computing the header checksum.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self) -> Vec<u8> {
-        let total_len = (IPV4_HEADER_LEN + self.payload.len()) as u16;
-        let mut buf = Vec::with_capacity(total_len as usize);
-        buf.push(0x45); // version 4, IHL 5
-        buf.push(0); // DSCP/ECN
-        buf.extend_from_slice(&total_len.to_be_bytes());
-        buf.extend_from_slice(&self.identification.to_be_bytes());
-        buf.extend_from_slice(&[0, 0]); // flags + fragment offset
-        buf.push(self.ttl);
-        buf.push(self.protocol.to_u8());
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&self.src.octets());
-        buf.extend_from_slice(&self.dst.octets());
-        let ck = internet_checksum(&buf[..IPV4_HEADER_LEN]);
-        buf[10..12].copy_from_slice(&ck.to_be_bytes());
-        buf.extend_from_slice(&self.payload);
-        buf
+        crate::wire::emit_to_vec(self)
     }
 
     /// Parses a packet, verifying version, IHL, length, and header checksum.

@@ -37,6 +37,7 @@ mod ipv4;
 mod mac;
 mod tcp;
 mod udp;
+mod wire;
 
 pub use arp::{ArpOp, ArpPacket, ARP_WIRE_LEN};
 pub use checksum::{internet_checksum, Checksum};
@@ -53,3 +54,7 @@ pub use ipv4::{IpProtocol, Ipv4Addr, Ipv4Cidr, Ipv4Packet, IPV4_HEADER_LEN};
 pub use mac::MacAddr;
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+pub use wire::{
+    ArpViewMut, DhcpOptionsWriter, DhcpViewMut, EthernetEmit, EthernetViewMut, IcmpViewMut,
+    Ipv4Emit, Ipv4ViewMut, TcpEmit, UdpEmit, UdpViewMut, WireEmit,
+};

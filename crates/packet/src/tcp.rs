@@ -110,27 +110,11 @@ impl TcpSegment {
     }
 
     /// Serializes header plus payload with a pseudo-header checksum.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(TCP_HEADER_LEN + self.payload.len());
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&self.seq.to_be_bytes());
-        buf.extend_from_slice(&self.ack.to_be_bytes());
-        buf.push(((TCP_HEADER_LEN / 4) as u8) << 4);
-        buf.push(self.flags.bits());
-        buf.extend_from_slice(&self.window.to_be_bytes());
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&[0, 0]); // urgent pointer
-        buf.extend_from_slice(&self.payload);
-        let mut ck = Checksum::new();
-        ck.add_u32(src.to_u32());
-        ck.add_u32(dst.to_u32());
-        ck.add_u16(6);
-        ck.add_u16(buf.len() as u16);
-        ck.add_bytes(&buf);
-        let sum = ck.finish();
-        buf[16..18].copy_from_slice(&sum.to_be_bytes());
-        buf
+        crate::wire::emit_to_vec(&self.emitter(src, dst))
     }
 
     /// Parses a segment, verifying the pseudo-header checksum. Options are
@@ -156,11 +140,7 @@ impl TcpSegment {
                 value: data_offset as u64,
             });
         }
-        let mut ck = Checksum::new();
-        ck.add_u32(src.to_u32());
-        ck.add_u32(dst.to_u32());
-        ck.add_u16(6);
-        ck.add_u16(buf.len() as u16);
+        let mut ck = tcp_pseudo_header(src, dst, buf.len() as u16);
         ck.add_bytes(buf);
         if ck.finish() != 0 {
             let found = u16::from_be_bytes([buf[16], buf[17]]);
@@ -176,6 +156,15 @@ impl TcpSegment {
             payload: buf[data_offset..].to_vec(),
         })
     }
+}
+
+pub(crate) fn tcp_pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, len: u16) -> Checksum {
+    let mut ck = Checksum::new();
+    ck.add_u32(src.to_u32());
+    ck.add_u32(dst.to_u32());
+    ck.add_u16(6); // protocol
+    ck.add_u16(len);
+    ck
 }
 
 #[cfg(test)]

@@ -29,22 +29,11 @@ impl UdpDatagram {
     }
 
     /// Serializes header plus payload, computing the pseudo-header checksum.
+    ///
+    /// A shim over the in-place [`WireEmit`](crate::WireEmit) writer; TX
+    /// hot paths emit directly into pool buffers instead.
     pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
-        let len = (UDP_HEADER_LEN + self.payload.len()) as u16;
-        let mut buf = Vec::with_capacity(len as usize);
-        buf.extend_from_slice(&self.src_port.to_be_bytes());
-        buf.extend_from_slice(&self.dst_port.to_be_bytes());
-        buf.extend_from_slice(&len.to_be_bytes());
-        buf.extend_from_slice(&[0, 0]); // checksum placeholder
-        buf.extend_from_slice(&self.payload);
-        let mut ck = pseudo_header(src, dst, len);
-        ck.add_bytes(&buf);
-        let mut sum = ck.finish();
-        if sum == 0 {
-            sum = 0xffff; // RFC 768: transmitted zero means "no checksum"
-        }
-        buf[6..8].copy_from_slice(&sum.to_be_bytes());
-        buf
+        crate::wire::emit_to_vec(&self.emitter(src, dst))
     }
 
     /// Parses a datagram, verifying length and (when present) the checksum.
@@ -71,7 +60,7 @@ impl UdpDatagram {
         }
         let stored = u16::from_be_bytes([buf[6], buf[7]]);
         if stored != 0 {
-            let mut ck = pseudo_header(src, dst, len as u16);
+            let mut ck = udp_pseudo_header(src, dst, len as u16);
             ck.add_bytes(&buf[..len]);
             let verified = ck.finish();
             if verified != 0 {
@@ -86,7 +75,7 @@ impl UdpDatagram {
     }
 }
 
-fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, len: u16) -> Checksum {
+pub(crate) fn udp_pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, len: u16) -> Checksum {
     let mut ck = Checksum::new();
     ck.add_u32(src.to_u32());
     ck.add_u32(dst.to_u32());

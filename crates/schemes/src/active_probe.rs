@@ -3,10 +3,8 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
-use arpshield_netsim::{Device, DeviceCtx, PortId, SimTime};
-use arpshield_packet::{
-    ArpOp, ArpPacket, EtherType, EthernetFrame, EthernetView, Ipv4Addr, MacAddr,
-};
+use arpshield_netsim::{eth_frame, Device, DeviceCtx, PortId, SimTime};
+use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetView, Ipv4Addr, MacAddr};
 
 use crate::alert::{Alert, AlertKind, AlertLog};
 use crate::work;
@@ -137,9 +135,7 @@ impl ActiveProbeMonitor {
 
     fn emit_probe(&mut self, ctx: &mut DeviceCtx<'_>, ip: Ipv4Addr) {
         let probe = ArpPacket::request(self.config.mac, Ipv4Addr::UNSPECIFIED, ip);
-        let frame =
-            EthernetFrame::new(MacAddr::BROADCAST, self.config.mac, EtherType::ARP, probe.encode());
-        ctx.send(PortId(0), frame.encode());
+        ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, self.config.mac, EtherType::ARP, &probe));
         self.probes_sent += 1;
         self.log.add_work(SCHEME, work::PROBE);
         ctx.schedule_in(self.config.probe_window, u64::from(ip.to_u32()));

@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use arpshield_netsim::{FrameInspector, InspectVerdict, PortId, SimTime};
 use arpshield_packet::{
-    ArpPacket, DhcpMessage, DhcpMessageType, EtherType, EthernetFrame, IpProtocol, Ipv4Addr,
+    ArpPacket, DhcpMessage, DhcpMessageType, EtherType, EthernetView, IpProtocol, Ipv4Addr,
     Ipv4Packet, MacAddr, UdpDatagram, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
 };
 
@@ -106,11 +106,11 @@ impl DaiInspector {
 
     fn snoop_dhcp(
         &mut self,
-        eth: &EthernetFrame,
+        eth: &EthernetView<'_>,
         trusted: bool,
         now: SimTime,
     ) -> Option<InspectVerdict> {
-        let pkt = Ipv4Packet::parse(&eth.payload).ok()?;
+        let pkt = Ipv4Packet::parse(eth.payload()).ok()?;
         if pkt.protocol != IpProtocol::Udp {
             return None;
         }
@@ -127,7 +127,7 @@ impl DaiInspector {
                 now,
                 AlertKind::DaiViolation,
                 pkt.src,
-                eth.src,
+                eth.src(),
                 "dhcp server message on untrusted port",
             ));
         }
@@ -151,9 +151,9 @@ impl DaiInspector {
 }
 
 impl FrameInspector for DaiInspector {
-    fn inspect(&mut self, now: SimTime, ingress: PortId, eth: &EthernetFrame) -> InspectVerdict {
+    fn inspect(&mut self, now: SimTime, ingress: PortId, eth: &EthernetView<'_>) -> InspectVerdict {
         let trusted = self.config.trusted_ports.contains(&ingress);
-        match eth.ethertype {
+        match eth.ethertype() {
             EtherType::Ipv4 => {
                 self.log.add_work(SCHEME, work::INSPECT);
                 if let Some(verdict) = self.snoop_dhcp(eth, trusted, now) {
@@ -166,7 +166,7 @@ impl FrameInspector for DaiInspector {
                 if trusted {
                     return InspectVerdict::Permit;
                 }
-                let Ok(arp) = ArpPacket::parse(&eth.payload) else {
+                let Ok(arp) = ArpPacket::parse(eth.payload()) else {
                     return InspectVerdict::Deny { reason: "unparseable arp".into() };
                 };
                 if arp.sender_ip.is_unspecified() {
@@ -174,7 +174,7 @@ impl FrameInspector for DaiInspector {
                 }
                 let bound = self.bindings.borrow().get(&arp.sender_ip).copied();
                 match bound {
-                    Some(mac) if mac == arp.sender_mac && eth.src == arp.sender_mac => {
+                    Some(mac) if mac == arp.sender_mac && eth.src() == arp.sender_mac => {
                         InspectVerdict::Permit
                     }
                     Some(_) => self.deny(
@@ -201,12 +201,17 @@ impl FrameInspector for DaiInspector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arpshield_packet::EthernetFrame;
 
-    fn arp_frame(src: MacAddr, sender_ip: Ipv4Addr, sender_mac: MacAddr) -> EthernetFrame {
+    fn arp_frame(src: MacAddr, sender_ip: Ipv4Addr, sender_mac: MacAddr) -> Vec<u8> {
         let arp = ArpPacket::request(sender_mac, sender_ip, Ipv4Addr::new(10, 0, 0, 99));
         let mut arp = arp;
         arp.sender_mac = sender_mac;
-        EthernetFrame::new(MacAddr::BROADCAST, src, EtherType::ARP, arp.encode())
+        EthernetFrame::new(MacAddr::BROADCAST, src, EtherType::ARP, arp.encode()).encode()
+    }
+
+    fn view(bytes: &[u8]) -> EthernetView<'_> {
+        EthernetView::parse(bytes).unwrap()
     }
 
     const IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5);
@@ -221,7 +226,7 @@ mod tests {
     fn matching_binding_permits() {
         let (mut dai, log) = inspector();
         let frame = arp_frame(MacAddr::from_index(5), IP, MacAddr::from_index(5));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &frame), InspectVerdict::Permit);
+        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)), InspectVerdict::Permit);
         assert!(log.is_empty());
     }
 
@@ -230,7 +235,7 @@ mod tests {
         let (mut dai, log) = inspector();
         let frame = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(66));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &frame),
+            dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)),
             InspectVerdict::Deny { .. }
         ));
         assert_eq!(log.alerts()[0].kind, AlertKind::DaiViolation);
@@ -244,7 +249,7 @@ mod tests {
         // Correct ARP fields but the frame's L2 source is someone else.
         let frame = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(5));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &frame),
+            dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)),
             InspectVerdict::Deny { .. }
         ));
     }
@@ -255,19 +260,19 @@ mod tests {
         let unknown =
             arp_frame(MacAddr::from_index(9), Ipv4Addr::new(10, 0, 0, 9), MacAddr::from_index(9));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &unknown),
+            dai.inspect(SimTime::ZERO, PortId(1), &view(&unknown)),
             InspectVerdict::Deny { .. }
         ));
         let probe =
             arp_frame(MacAddr::from_index(9), Ipv4Addr::UNSPECIFIED, MacAddr::from_index(9));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &probe), InspectVerdict::Permit);
+        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &view(&probe)), InspectVerdict::Permit);
     }
 
     #[test]
     fn trusted_port_bypasses() {
         let (mut dai, log) = inspector();
         let forged = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(66));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(0), &forged), InspectVerdict::Permit);
+        assert_eq!(dai.inspect(SimTime::ZERO, PortId(0), &view(&forged)), InspectVerdict::Permit);
         assert!(log.is_empty());
     }
 

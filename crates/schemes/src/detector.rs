@@ -29,7 +29,7 @@
 use std::collections::BTreeMap;
 
 use arpshield_netsim::{Device, FrameInspector, InspectVerdict, PortId, SimTime, StandaloneDriver};
-use arpshield_packet::{EtherType, EthernetFrame, EthernetView, ETHERNET_MAX_PAYLOAD};
+use arpshield_packet::{EtherType, EthernetView, ETHERNET_MAX_PAYLOAD};
 use arpshield_trace::{FrameKind, Tracer};
 
 use crate::alert::{Alert, AlertLog};
@@ -228,11 +228,12 @@ impl Detector {
         }
         let now = self.monitor_now(at);
         if let Some(inspector) = &mut self.inspector {
-            // Lenient owned parse for the inspector's &EthernetFrame
-            // contract; DAI is not on the zero-alloc fast path.
-            if let Ok(eth) = EthernetFrame::parse_lenient(bytes) {
+            // Borrowed lenient parse straight over the capture bytes —
+            // the same zero-copy view contract the in-switch fast path
+            // hands its inspector.
+            if let Ok(eth) = EthernetView::parse(bytes) {
                 let port =
-                    if eth.ethertype == EtherType::ARP { UNTRUSTED_PORT } else { TRUSTED_PORT };
+                    if eth.ethertype() == EtherType::ARP { UNTRUSTED_PORT } else { TRUSTED_PORT };
                 if let InspectVerdict::Deny { .. } = inspector.inspect(now, port, &eth) {
                     self.stats.denied += 1;
                 }
@@ -313,7 +314,7 @@ impl Detector {
 mod tests {
     use super::*;
     use crate::AlertKind;
-    use arpshield_packet::{ArpOp, ArpPacket, Ipv4Addr, MacAddr};
+    use arpshield_packet::{ArpOp, ArpPacket, EthernetFrame, Ipv4Addr, MacAddr};
 
     fn arp_frame(sender_mac: MacAddr, sender_ip: Ipv4Addr) -> Vec<u8> {
         let arp = ArpPacket::gratuitous(ArpOp::Reply, sender_mac, sender_ip);

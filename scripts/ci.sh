@@ -100,6 +100,43 @@ rm -rf "$ingest_out"
 echo "==> TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline"
 TESTKIT_BENCH_SMOKE=1 cargo bench --workspace --offline
 
+echo "==> alloc-floor gate (frame_delivery allocs/frame vs committed baseline)"
+# Allocation counts are deterministic (seeded sim, warmed frame pool), so
+# unlike the timing comparison above this gate is FATAL: the bench smoke
+# just rewrote results/bench/frame_delivery_allocs.json from a live run,
+# and any workload allocating more per delivered frame than the committed
+# baseline — or the hub broadcast path exceeding its 0.02 allocs/frame
+# ceiling — fails CI.
+python3 - results/bench/frame_delivery_allocs.json \
+    results/bench/baseline/frame_delivery_allocs.json <<'PY'
+import json
+import sys
+
+live_path, base_path = sys.argv[1], sys.argv[2]
+live = {e["id"]: e for e in json.load(open(live_path))["results"]}
+base = {e["id"]: e for e in json.load(open(base_path))["results"]}
+
+HUB_CEILING = 0.02  # absolute allocs/frame bound on the zero-copy TX path
+
+failed = False
+for wid, entry in sorted(base.items()):
+    if wid not in live:
+        print(f"alloc gate: FAIL {wid}: missing from live report")
+        failed = True
+        continue
+    got, want = live[wid]["allocs_per_frame"], entry["allocs_per_frame"]
+    verdict = "ok" if got <= want else "FAIL (regressed)"
+    failed |= got > want
+    print(f"alloc gate: {verdict} {wid}: {got:.4f} allocs/frame (baseline {want:.4f})")
+
+hub = live.get("hub16/broadcast")
+if hub is None or hub["allocs_per_frame"] > HUB_CEILING:
+    print(f"alloc gate: FAIL hub16/broadcast exceeds {HUB_CEILING} allocs/frame ceiling")
+    failed = True
+
+sys.exit(1 if failed else 0)
+PY
+
 echo "==> scripts/bench_compare.sh (advisory)"
 scripts/bench_compare.sh
 

@@ -678,3 +678,315 @@ mod scheduler_and_pool {
         }
     }
 }
+
+/// Byte-identity of the in-place wire writers against independent
+/// reference encoders.
+///
+/// The legacy `encode()` methods are now thin shims over the mutable
+/// view writers, so comparing `encode()` to itself would prove nothing.
+/// Each reference encoder below re-implements the original Vec-building
+/// serialization (including an independent ones'-complement checksum)
+/// from the wire-format spec; any drift the redesign introduced into
+/// header layout, padding, or checksums shows up here as a shrunk
+/// counterexample.
+mod wire_emit_identity {
+    use super::*;
+    use arpshield::netsim::{eth_frame, Frame};
+    use arpshield::packet::{DhcpMessageType, DhcpOp, DhcpOption};
+
+    /// Independent RFC 1071 checksum over a contiguous byte string (odd
+    /// trailing byte zero-padded).
+    fn ref_checksum(bytes: &[u8]) -> u16 {
+        let mut sum: u32 = 0;
+        for chunk in bytes.chunks(2) {
+            let word = if chunk.len() == 2 {
+                u16::from_be_bytes([chunk[0], chunk[1]])
+            } else {
+                u16::from_be_bytes([chunk[0], 0])
+            };
+            sum += u32::from(word);
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, len: u16) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12);
+        out.extend_from_slice(&src.octets());
+        out.extend_from_slice(&dst.octets());
+        out.push(0);
+        out.push(protocol);
+        out.extend_from_slice(&len.to_be_bytes());
+        out
+    }
+
+    fn ref_ethernet(f: &EthernetFrame) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(f.dst.as_bytes());
+        out.extend_from_slice(f.src.as_bytes());
+        if let Some(vid) = f.vlan {
+            out.extend_from_slice(&0x8100u16.to_be_bytes());
+            out.extend_from_slice(&(vid & 0x0FFF).to_be_bytes());
+        }
+        out.extend_from_slice(&f.ethertype.to_u16().to_be_bytes());
+        out.extend_from_slice(&f.payload);
+        for _ in f.payload.len()..46 {
+            out.push(0);
+        }
+        out
+    }
+
+    fn ref_arp(p: &ArpPacket) -> Vec<u8> {
+        let mut out = vec![0, 1, 8, 0, 6, 4]; // htype 1, ptype 0x0800, hlen, plen
+        out.extend_from_slice(&p.op.to_u16().to_be_bytes());
+        out.extend_from_slice(p.sender_mac.as_bytes());
+        out.extend_from_slice(&p.sender_ip.octets());
+        out.extend_from_slice(p.target_mac.as_bytes());
+        out.extend_from_slice(&p.target_ip.octets());
+        out
+    }
+
+    fn ref_ipv4(p: &Ipv4Packet) -> Vec<u8> {
+        let total = 20 + p.payload.len();
+        let mut h = vec![0u8; 20];
+        h[0] = 0x45;
+        h[2..4].copy_from_slice(&(total as u16).to_be_bytes());
+        h[4..6].copy_from_slice(&p.identification.to_be_bytes());
+        h[8] = p.ttl;
+        h[9] = p.protocol.to_u8();
+        h[12..16].copy_from_slice(&p.src.octets());
+        h[16..20].copy_from_slice(&p.dst.octets());
+        let ck = ref_checksum(&h);
+        h[10..12].copy_from_slice(&ck.to_be_bytes());
+        h.extend_from_slice(&p.payload);
+        h
+    }
+
+    fn ref_udp(d: &UdpDatagram, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let len = (8 + d.payload.len()) as u16;
+        let mut out = Vec::new();
+        out.extend_from_slice(&d.src_port.to_be_bytes());
+        out.extend_from_slice(&d.dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(&d.payload);
+        let mut covered = pseudo_header(src, dst, 17, len);
+        covered.extend_from_slice(&out);
+        let mut ck = ref_checksum(&covered);
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        out[6..8].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    fn ref_icmp(m: &IcmpMessage) -> Vec<u8> {
+        let mut out = vec![m.icmp_type.to_u8(), 0, 0, 0];
+        out.extend_from_slice(&m.identifier.to_be_bytes());
+        out.extend_from_slice(&m.sequence.to_be_bytes());
+        out.extend_from_slice(&m.payload);
+        let ck = ref_checksum(&out);
+        out[2..4].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    fn ref_tcp(s: &TcpSegment, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+        let total = (20 + s.payload.len()) as u16;
+        let mut out = vec![0u8; 20];
+        out[0..2].copy_from_slice(&s.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&s.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&s.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&s.ack.to_be_bytes());
+        out[12] = 5 << 4;
+        out[13] = s.flags.bits();
+        out[14..16].copy_from_slice(&s.window.to_be_bytes());
+        out.extend_from_slice(&s.payload);
+        let mut covered = pseudo_header(src, dst, 6, total);
+        covered.extend_from_slice(&out);
+        let ck = ref_checksum(&covered);
+        out[16..18].copy_from_slice(&ck.to_be_bytes());
+        out
+    }
+
+    fn ref_dhcp(m: &DhcpMessage) -> Vec<u8> {
+        let mut out = vec![0u8; 236];
+        out[0] = m.op.to_u8();
+        out[1] = 1; // htype: ethernet
+        out[2] = 6; // hlen
+        out[4..8].copy_from_slice(&m.xid.to_be_bytes());
+        out[10] = 0x80; // broadcast flag
+        out[12..16].copy_from_slice(&m.ciaddr.octets());
+        out[16..20].copy_from_slice(&m.yiaddr.octets());
+        out[20..24].copy_from_slice(&m.siaddr.octets());
+        out[28..34].copy_from_slice(m.chaddr.as_bytes());
+        out.extend_from_slice(&[99, 130, 83, 99]);
+        for opt in &m.options {
+            match opt {
+                DhcpOption::SubnetMask(a) => push_addr_opt(&mut out, 1, *a),
+                DhcpOption::Router(a) => push_addr_opt(&mut out, 3, *a),
+                DhcpOption::DnsServer(a) => push_addr_opt(&mut out, 6, *a),
+                DhcpOption::RequestedIp(a) => push_addr_opt(&mut out, 50, *a),
+                DhcpOption::LeaseTime(t) => {
+                    out.extend_from_slice(&[51, 4]);
+                    out.extend_from_slice(&t.to_be_bytes());
+                }
+                DhcpOption::MessageType(t) => out.extend_from_slice(&[53, 1, t.to_u8()]),
+                DhcpOption::ServerId(a) => push_addr_opt(&mut out, 54, *a),
+                DhcpOption::Other(code, data) => {
+                    out.push(*code);
+                    out.push(data.len() as u8);
+                    out.extend_from_slice(data);
+                }
+            }
+        }
+        out.push(255);
+        out
+    }
+
+    fn push_addr_opt(out: &mut Vec<u8>, code: u8, addr: Ipv4Addr) {
+        out.push(code);
+        out.push(4);
+        out.extend_from_slice(&addr.octets());
+    }
+
+    fn arb_dhcp_option() -> impl Strategy<Value = DhcpOption> {
+        prop_oneof![
+            arb_ip().prop_map(DhcpOption::SubnetMask),
+            arb_ip().prop_map(DhcpOption::Router),
+            arb_ip().prop_map(DhcpOption::DnsServer),
+            arb_ip().prop_map(DhcpOption::RequestedIp),
+            any::<u32>().prop_map(DhcpOption::LeaseTime),
+            prop_oneof![
+                Just(DhcpMessageType::Discover),
+                Just(DhcpMessageType::Offer),
+                Just(DhcpMessageType::Request),
+                Just(DhcpMessageType::Ack),
+                Just(DhcpMessageType::Nak),
+                Just(DhcpMessageType::Release),
+            ]
+            .prop_map(DhcpOption::MessageType),
+            arb_ip().prop_map(DhcpOption::ServerId),
+            (1u8..=254, collection::vec(any::<u8>(), 0..40))
+                .prop_map(|(code, data)| DhcpOption::Other(code, data)),
+        ]
+    }
+
+    properties! {
+        #[test]
+        fn ethernet_emit_matches_reference(dst in arb_mac(), src in arb_mac(),
+                                           ethertype in any::<u16>(), vid in any::<u16>(),
+                                           payload in collection::vec(any::<u8>(), 0..1500)) {
+            let ethertype = if EtherType::from_u16(ethertype).is_vlan_tag() {
+                EtherType::ARP
+            } else {
+                EtherType::from_u16(ethertype)
+            };
+            let mut frame = EthernetFrame::new(dst, src, ethertype, payload);
+            if vid % 2 == 0 {
+                frame = frame.with_vlan(vid);
+            }
+            prop_assert_eq!(frame.encode(), ref_ethernet(&frame));
+        }
+
+        #[test]
+        fn arp_emit_matches_reference(op in prop_oneof![Just(ArpOp::Request), Just(ArpOp::Reply)],
+                                      smac in arb_mac(), sip in arb_ip(),
+                                      tmac in arb_mac(), tip in arb_ip()) {
+            let pkt = ArpPacket {
+                op, sender_mac: smac, sender_ip: sip, target_mac: tmac, target_ip: tip,
+            };
+            prop_assert_eq!(pkt.encode(), ref_arp(&pkt));
+        }
+
+        #[test]
+        fn ipv4_emit_matches_reference(src in arb_ip(), dst in arb_ip(), ttl in any::<u8>(),
+                                       ident in any::<u16>(), proto in any::<u8>(),
+                                       payload in collection::vec(any::<u8>(), 0..600)) {
+            let mut pkt = Ipv4Packet::new(src, dst, IpProtocol::from_u8(proto), payload);
+            pkt.ttl = ttl;
+            pkt.identification = ident;
+            prop_assert_eq!(pkt.encode(), ref_ipv4(&pkt));
+        }
+
+        #[test]
+        fn udp_emit_matches_reference(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(),
+                                      dp in any::<u16>(),
+                                      payload in collection::vec(any::<u8>(), 0..600)) {
+            let dgram = UdpDatagram::new(sp, dp, payload);
+            prop_assert_eq!(dgram.encode(src, dst), ref_udp(&dgram, src, dst));
+        }
+
+        #[test]
+        fn icmp_emit_matches_reference(ident in any::<u16>(), seq in any::<u16>(),
+                                       payload in collection::vec(any::<u8>(), 0..200)) {
+            let req = IcmpMessage::echo_request(ident, seq, payload);
+            prop_assert_eq!(req.encode(), ref_icmp(&req));
+            let rep = IcmpMessage::reply_to(&req);
+            prop_assert_eq!(rep.encode(), ref_icmp(&rep));
+        }
+
+        #[test]
+        fn tcp_emit_matches_reference(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(),
+                                      dp in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+                                      flags in any::<u8>(), window in any::<u16>(),
+                                      payload in collection::vec(any::<u8>(), 0..200)) {
+            let seg = TcpSegment {
+                src_port: sp, dst_port: dp, seq, ack,
+                flags: TcpFlags::from_bits(flags), window, payload,
+            };
+            prop_assert_eq!(seg.encode(src, dst), ref_tcp(&seg, src, dst));
+        }
+
+        #[test]
+        fn dhcp_emit_matches_reference(op in prop_oneof![Just(DhcpOp::BootRequest),
+                                                         Just(DhcpOp::BootReply)],
+                                       xid in any::<u32>(), ci in arb_ip(), yi in arb_ip(),
+                                       si in arb_ip(), chaddr in arb_mac(),
+                                       options in collection::vec(arb_dhcp_option(), 0..8)) {
+            let msg = DhcpMessage {
+                op, xid, ciaddr: ci, yiaddr: yi, siaddr: si, chaddr, options,
+            };
+            prop_assert_eq!(msg.encode(), ref_dhcp(&msg));
+        }
+
+        /// The pooled TX constructor hands out recycled buffers; whatever a
+        /// previous tenant wrote must never show through, and the closure's
+        /// bytes must come back exactly.
+        #[test]
+        fn frame_build_never_exposes_stale_bytes(poison in collection::vec(1u8..=255, 1..1500),
+                                                 len in 0usize..1500, fill in any::<u8>(),
+                                                 written in 0usize..1500) {
+            let written = written.min(len);
+            let tenant = Frame::from(poison);
+            drop(tenant); // recycled: the next build reuses this buffer
+            let frame = Frame::build(len, |buf| {
+                buf[..written].fill(fill);
+                buf.len()
+            });
+            prop_assert_eq!(frame.len(), len);
+            prop_assert!(frame[..written].iter().all(|&b| b == fill));
+            // Everything the closure did not touch reads back as zero —
+            // the pre-zeroing that doubles as Ethernet padding.
+            prop_assert!(frame[written..].iter().all(|&b| b == 0));
+        }
+
+        /// The netsim TX one-liner produces exactly the bytes of the owned
+        /// builder it replaced.
+        #[test]
+        fn eth_frame_matches_owned_encoder(dst in arb_mac(), src in arb_mac(),
+                                           ethertype in any::<u16>(),
+                                           payload in collection::vec(any::<u8>(), 0..600)) {
+            let ethertype = if EtherType::from_u16(ethertype).is_vlan_tag() {
+                EtherType::ARP
+            } else {
+                EtherType::from_u16(ethertype)
+            };
+            let owned =
+                EthernetFrame::new(dst, src, ethertype, payload.clone()).encode();
+            let pooled = eth_frame(dst, src, ethertype, &payload[..]);
+            prop_assert_eq!(pooled.as_slice(), &owned[..]);
+        }
+    }
+}
