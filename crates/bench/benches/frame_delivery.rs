@@ -1,10 +1,12 @@
 //! Per-frame delivery cost on broadcast-heavy topologies — the hot path
 //! the shared-`Frame` substrate work targets.
 //!
-//! Two workloads: a 16-port hub repeating every ingress frame to 15
-//! egress ports, and a 16-port switch flooding broadcasts. Alongside the
-//! timed records this bench counts heap allocations per delivered frame
-//! (via a counting global allocator) and writes them to
+//! Three workloads: a 16-port hub repeating every ingress frame to 15
+//! egress ports, a 16-port switch flooding broadcasts, and a VLAN-aware
+//! switch flooding across mixed access/trunk ports (each ingress frame
+//! is re-tagged at most once, then shared). Alongside the timed records
+//! this bench counts heap allocations per delivered frame (via a
+//! counting global allocator) and writes them to
 //! `results/bench/frame_delivery_allocs.json`, so the allocation
 //! trajectory is tracked the same way the latency trajectory is.
 
@@ -15,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use arpshield_netsim::{
-    eth_frame, Device, DeviceCtx, Hub, PortId, SimTime, Simulator, Switch, SwitchConfig,
+    eth_frame, Device, DeviceCtx, Hub, PortId, PortVlan, SimTime, Simulator, Switch, SwitchConfig,
+    VlanSet,
 };
 use arpshield_packet::{EtherType, MacAddr};
 use arpshield_testkit::{json, Criterion, Throughput};
@@ -135,12 +138,39 @@ fn run_switch_flood() -> (u64, u64) {
     (allocs, sim.wire_stats().frames)
 }
 
+/// VLAN flood: untagged ingress on an access port fans out to 7 more
+/// access ports (shared buffer, ingress bytes) and 8 trunk ports (one
+/// pooled re-tag per ingress frame, then shared). The per-frame cost
+/// of the tag rebuild is what this workload pins.
+fn run_switch_vlan_flood() -> (u64, u64) {
+    let mut sim = Simulator::new(1);
+    let mut vlans = vec![PortVlan::Access { pvid: 10 }; PORTS / 2];
+    vlans.extend(std::iter::repeat_n(
+        PortVlan::Trunk { allowed: VlanSet::Only(vec![10]) },
+        PORTS / 2,
+    ));
+    let (sw, _) =
+        Switch::new("sw", SwitchConfig { ports: PORTS, vlans: Some(vlans), ..Default::default() });
+    let sw = sim.add_device(Box::new(sw));
+    let src = sim.add_device(Box::new(Blaster::new()));
+    sim.connect(src, PortId(0), sw, PortId(0), Duration::from_micros(1)).unwrap();
+    for p in 1..PORTS as u16 {
+        let s = sim.add_device(Box::new(Sink));
+        sim.connect(s, PortId(0), sw, PortId(p), Duration::from_micros(1)).unwrap();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_until(SimTime::from_secs(1));
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (allocs, sim.wire_stats().frames)
+}
+
 fn bench_delivery(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_delivery");
     group.sample_size(15);
     group.throughput(Throughput::Elements(delivered_frames()));
     group.bench_function("hub16/broadcast", |b| b.iter(run_hub_broadcast));
     group.bench_function("switch16/flood", |b| b.iter(run_switch_flood));
+    group.bench_function("switch16/vlan_flood", |b| b.iter(run_switch_vlan_flood));
     group.finish();
 }
 
@@ -159,6 +189,7 @@ fn write_alloc_report() {
     for (id, workload) in [
         ("hub16/broadcast", run_hub_broadcast as fn() -> (u64, u64)),
         ("switch16/flood", run_switch_flood),
+        ("switch16/vlan_flood", run_switch_vlan_flood),
     ] {
         let (allocs, frames) = measure_allocs(workload);
         let mut obj = BTreeMap::new();

@@ -4,6 +4,7 @@
 //! reproduce                   # run everything
 //! reproduce t3 f1             # run a subset by id
 //! reproduce --out DIR         # also write CSVs (default: results/)
+//! reproduce t6s --defend      # also run the DAI-defended scale sweep (id t6sd)
 //! reproduce --trace t2        # additionally write results/trace/t2.{json,csv,hist.csv}
 //! reproduce --capture t2      # additionally write results/capture/t2.{pcapng,index.json}
 //! reproduce validate-trace P… # check trace manifests (files and/or directories) and exit
@@ -43,7 +44,7 @@ use std::time::Instant;
 use arpshield_core::experiment::{
     f1_detection_latency, f2_overhead, f3_resolution_latency, f4_poisoned_time, f5_passive_scale,
     f6_flood_dynamics, f6_starvation_dynamics, t2_susceptibility, t3_coverage, t4_false_positives,
-    t5_cost, t5_resilience, t6_dos_coverage, t6_scale, T6S_SIZES,
+    t5_cost, t5_resilience, t6_dos_coverage, t6_scale, t6_scale_defended, T6S_SIZES,
 };
 use arpshield_core::{taxonomy, Series, Table};
 use arpshield_netsim::SimTime;
@@ -844,6 +845,11 @@ fn main() {
         args.remove(pos);
         trace = true;
     }
+    let mut defend = false;
+    if let Some(pos) = args.iter().position(|a| a == "--defend") {
+        args.remove(pos);
+        defend = true;
+    }
     let mut capture = None;
     if let Some(pos) = args.iter().position(|a| a == "--capture") {
         args.remove(pos);
@@ -891,6 +897,12 @@ fn main() {
     }
     if want("t6s") {
         out.series("t6s", || t6_scale(SEED, &t6s_sizes()));
+    }
+    // The defended scale sweep rides behind `t6s --defend` (or its own
+    // `t6sd` id) so the default full run — and its committed CSVs —
+    // keep the published undefended shape.
+    if selected.iter().any(|s| s == "t6sd") || (want("t6s") && defend) {
+        out.series("t6sd", || t6_scale_defended(SEED, &t6s_sizes()));
     }
     if want("f1") {
         out.series("f1", || f1_detection_latency(SEED, 30));

@@ -25,7 +25,7 @@ pub use matrix::{t2_susceptibility, t3_coverage};
 pub use overhead::{f2_overhead, f5_passive_scale};
 pub use poisoned::f4_poisoned_time;
 pub use resilience::{t5_resilience, LOSS_GRID};
-pub use scale::{t6_scale, T6S_SIZES};
+pub use scale::{t6_scale, t6_scale_defended, T6S_SIZES};
 
 /// The scheme subset the detection-latency figure sweeps (the ones that
 /// raise alerts at all).

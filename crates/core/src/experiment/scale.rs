@@ -21,6 +21,10 @@ use crate::scenario::scale::{build, ScaleConfig};
 /// The default host counts the published sweep covers.
 pub const T6S_SIZES: &[usize] = &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
 
+/// Spoofing stations in the defended sweep — fixed like the churner
+/// set, so the attack rate stays constant as the fabric grows.
+const T6SD_SPOOFERS: usize = 8;
+
 /// T6S: wire throughput and per-host traffic versus station count.
 ///
 /// Two series: frames per simulated second (grows linearly with hosts
@@ -59,6 +63,69 @@ pub fn t6_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
     vec![frames_rate, bytes_per_host]
 }
 
+/// T6SD: detection overhead *inside* the scaled fabric.
+///
+/// Each sweep point builds the per-leaf VLAN fabric twice with an
+/// identical offered load — background refresh chatter, DHCP churners,
+/// and a fixed set of gateway spoofers — once undefended and once with
+/// per-VLAN DAI on the root and every leaf uplink. Four series come
+/// out: wire throughput for both variants (their gap is the traffic
+/// DAI absorbed plus fan-out it prevented), the DAI denial count, and
+/// DAI's accounted work units. Only deterministic sim counters are
+/// reported — wall-clock rates go to stderr, so the CSVs stay
+/// byte-identical at any `ARPSHIELD_THREADS`.
+pub fn t6_scale_defended(seed: u64, sizes: &[usize]) -> Vec<Series> {
+    let jobs: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            move || {
+                let run = |config: ScaleConfig| {
+                    let mut lan = build(config);
+                    let started = Instant::now();
+                    lan.sim.run_until(arpshield_netsim::SimTime::ZERO + config.duration);
+                    let denied = lan.inspector_drops();
+                    let work = lan.alerts.as_ref().map_or(0, |log| log.work_of("dai"));
+                    (lan.sim.wire_stats().frames, denied, work, started.elapsed())
+                };
+                let base = ScaleConfig::new(seed, n).with_spoofers(T6SD_SPOOFERS);
+                let (open_frames, _, _, open_wall) = run(base.with_vlan_fabric());
+                let (dai_frames, denied, work, dai_wall) = run(base.with_dai());
+                let sim_secs = base.duration.as_secs_f64();
+                (open_frames, dai_frames, denied, work, sim_secs, open_wall, dai_wall)
+            }
+        })
+        .collect();
+
+    let mut open_rate = Series::new(
+        "T6SD: frames per simulated second vs hosts (undefended VLAN fabric)",
+        "hosts",
+        "frames_per_sim_sec",
+    );
+    let mut dai_rate = Series::new(
+        "T6SD: frames per simulated second vs hosts (DAI in fabric)",
+        "hosts",
+        "frames_per_sim_sec",
+    );
+    let mut dai_denied = Series::new("T6SD: DAI denied frames vs hosts", "hosts", "denied_frames");
+    let mut dai_work = Series::new("T6SD: DAI work units vs hosts", "hosts", "dai_work_units");
+    for (&n, (open_frames, dai_frames, denied, work, sim_secs, open_wall, dai_wall)) in
+        sizes.iter().zip(run_indexed(jobs))
+    {
+        open_rate.push(n as f64, open_frames as f64 / sim_secs);
+        dai_rate.push(n as f64, dai_frames as f64 / sim_secs);
+        dai_denied.push(n as f64, denied as f64);
+        dai_work.push(n as f64, work as f64);
+        // Wall-clock rate is machine-dependent diagnostics, not data.
+        eprintln!(
+            "t6sd: {n} hosts, open {open_frames} frames in {:.2}s wall, \
+             dai {dai_frames} frames in {:.2}s wall ({denied} denied, {work} work units)",
+            open_wall.as_secs_f64(),
+            dai_wall.as_secs_f64(),
+        );
+    }
+    vec![open_rate, dai_rate, dai_denied, dai_work]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +141,19 @@ mod tests {
         // Bytes per host within 20% across sizes (churners amortise).
         let drift = (per_host[1].1 - per_host[0].1).abs() / per_host[0].1;
         assert!(drift < 0.2, "bytes/host drifted {drift}");
+    }
+
+    #[test]
+    fn defended_sweep_reports_denials_and_costs_throughput() {
+        let series = t6_scale_defended(5, &[700]);
+        let open = series[0].points()[0].1;
+        let dai = series[1].points()[0].1;
+        let denied = series[2].points()[0].1;
+        let work = series[3].points()[0].1;
+        // Spoofed frames die at the leaf inspectors, so the defended
+        // fabric carries strictly fewer frames than the open one.
+        assert!(denied > 0.0, "spoofers must trip DAI");
+        assert!(work > 0.0, "DAI work must be accounted");
+        assert!(dai < open, "defended rate {dai} should trail open rate {open}");
     }
 }

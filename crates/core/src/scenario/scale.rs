@@ -9,7 +9,7 @@
 //!
 //! Topology: one root switch with the gateway on port 0 and up to
 //! [`LEAF_CAPACITY`]-host leaf switches on the remaining ports (a
-//! `PortId` is 16-bit, so a single flat switch caps at 65 535 ports —
+//! `PortId` is 16-bit, so a single flat switch caps at 65 536 ports —
 //! real enterprise access/distribution tiers have the same shape).
 //! Every station knows the gateway binding up front, the way a DHCP
 //! lease hands it out, so background traffic is *unicast*: each
@@ -20,19 +20,42 @@
 //! that stays constant as the LAN grows — otherwise broadcast fan-out
 //! would swamp the sweep with O(hosts²) deliveries and measure
 //! nothing but itself.
+//!
+//! # Fabric variants
+//!
+//! [`Fabric::Flat`] is the legacy single-broadcast-domain build and
+//! stays bit-identical to the published T6S baseline. [`Fabric::Vlan`]
+//! puts each leaf on its own access VLAN behind 802.1Q trunk uplinks,
+//! the way an enterprise access tier segments a campus: station ports
+//! are access ports on the leaf's VID, leaf→root uplinks trunk exactly
+//! that VID, and the gateway hangs off a trunk-all root port answering
+//! on whichever VLAN asked. With `defend` set, dynamic ARP inspection
+//! runs *inside* the fabric — on the root and on every leaf uplink —
+//! keyed per VLAN, which is what the defended T6S sweep measures. A
+//! fixed small set of "spoofers" (mirroring the churner trick) forges
+//! the gateway's binding so defended runs have real violations to
+//! count without changing the offered-load shape.
 
 use std::time::Duration;
 
 use arpshield_netsim::{
-    eth_frame, Device, DeviceCtx, PortId, Simulator, Switch, SwitchConfig, SwitchHandle,
+    eth_frame, Device, DeviceCtx, Frame, PortId, PortVlan, Simulator, Switch, SwitchConfig,
+    SwitchHandle, VlanId, VlanSet,
 };
-use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetView, Ipv4Addr, MacAddr};
+use arpshield_packet::{
+    ArpOp, ArpPacket, EtherType, EthernetEmit, EthernetView, Ipv4Addr, MacAddr, WireEmit,
+};
+use arpshield_schemes::{AlertLog, DaiConfig, DaiInspector};
 
 /// Hosts per leaf switch; the uplink rides on one extra port.
 pub const LEAF_CAPACITY: usize = 1024;
 
+/// First access VLAN id; leaf `l` is VLAN `FIRST_VID + l`.
+const FIRST_VID: VlanId = 10;
+
 const CHAT_TOKEN: u64 = 1;
 const CHURN_TOKEN: u64 = 2;
+const SPOOF_TOKEN: u64 = 3;
 
 /// Locally-administered MAC for station `i`.
 fn station_mac(i: usize) -> MacAddr {
@@ -56,6 +79,38 @@ fn mix(seed: u64, i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Root port count for `n_hosts` stations: one uplink per leaf plus
+/// the gateway on port 0.
+///
+/// # Panics
+///
+/// Panics when the root would need more than 65 536 ports. `PortId` is
+/// a `u16`, so ids `0..=65535` are all addressable and a 65 536-port
+/// root (65 535 leaves, ~67M hosts) is the largest valid build.
+fn root_port_count(n_hosts: usize) -> usize {
+    let n_leaves = n_hosts.div_ceil(LEAF_CAPACITY);
+    let ports = n_leaves + 1;
+    assert!(ports <= 65_536, "root port space exhausted");
+    ports
+}
+
+/// The access VLAN for leaf `leaf` in the [`Fabric::Vlan`] build.
+fn leaf_vid(leaf: usize) -> VlanId {
+    FIRST_VID + leaf as VlanId
+}
+
+/// Which fabric [`build`] wires up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// One untagged broadcast domain — the legacy T6S baseline.
+    Flat,
+    /// Each leaf is its own access VLAN behind 802.1Q trunks.
+    Vlan {
+        /// Install per-VLAN DAI inspectors on the root and every leaf.
+        defend: bool,
+    },
+}
+
 /// Knobs for one scale-sweep point.
 #[derive(Debug, Clone, Copy)]
 pub struct ScaleConfig {
@@ -72,11 +127,21 @@ pub struct ScaleConfig {
     pub churners: usize,
     /// Per-churner lease-turnover period.
     pub churn_period: Duration,
+    /// Fabric variant (flat legacy domain or per-leaf VLANs).
+    pub fabric: Fabric,
+    /// Stations that forge the gateway's binding — poison attempts for
+    /// the defended sweep. Fixed and small, like `churners`, so the
+    /// attack rate does not scale with the LAN. The last `spoofers`
+    /// station indices are used, keeping them disjoint from churners.
+    pub spoofers: usize,
+    /// Per-spoofer forge period.
+    pub spoof_period: Duration,
 }
 
 impl ScaleConfig {
     /// Defaults: 2 s refresh per station, 8 churners renewing once a
-    /// second, over a 10 s run.
+    /// second, over a 10 s run, on the flat legacy fabric with no
+    /// spoofers.
     pub fn new(seed: u64, n_hosts: usize) -> Self {
         ScaleConfig {
             seed,
@@ -85,6 +150,9 @@ impl ScaleConfig {
             chat_period: Duration::from_secs(2),
             churners: 8.min(n_hosts),
             churn_period: Duration::from_secs(1),
+            fabric: Fabric::Flat,
+            spoofers: 0,
+            spoof_period: Duration::from_secs(1),
         }
     }
 
@@ -93,12 +161,45 @@ impl ScaleConfig {
         self.duration = duration;
         self
     }
+
+    /// Switches to the per-leaf VLAN fabric (undefended).
+    pub fn with_vlan_fabric(mut self) -> Self {
+        self.fabric = Fabric::Vlan { defend: false };
+        self
+    }
+
+    /// VLAN fabric with DAI deployed on the root and every leaf.
+    pub fn with_dai(mut self) -> Self {
+        self.fabric = Fabric::Vlan { defend: true };
+        self
+    }
+
+    /// Adds `n` stations that forge the gateway binding.
+    pub fn with_spoofers(mut self, n: usize) -> Self {
+        self.spoofers = n;
+        self
+    }
+}
+
+/// Emits an Ethernet frame, 802.1Q-tagged when `vid` is set.
+fn vlan_frame<P: WireEmit + ?Sized>(
+    dst: MacAddr,
+    src: MacAddr,
+    vid: Option<VlanId>,
+    ethertype: EtherType,
+    payload: &P,
+) -> Frame {
+    let mut emit = EthernetEmit::new(dst, src, ethertype, payload);
+    emit.vlan = vid;
+    Frame::from_wire(&emit)
 }
 
 /// A minimal station: refreshes its preconfigured gateway entry on a
 /// timer, and (when a churner) broadcasts a gratuitous announcement
 /// per simulated lease renewal. Replies are absorbed without parsing —
-/// the station model must stay lighter than the fabric it loads.
+/// the station model must stay lighter than the fabric it loads. A
+/// spoofer additionally broadcasts forged claims to the gateway's IP,
+/// the classic cache-poison attempt DAI exists to stop.
 struct ScaleHost {
     name: String,
     mac: MacAddr,
@@ -106,6 +207,7 @@ struct ScaleHost {
     chat_period: Duration,
     chat_phase: Duration,
     churn: Option<(Duration, Duration)>,
+    spoof: Option<(Duration, Duration)>,
 }
 
 impl Device for ScaleHost {
@@ -119,6 +221,9 @@ impl Device for ScaleHost {
         ctx.schedule_in(self.chat_phase, CHAT_TOKEN);
         if let Some((_, phase)) = self.churn {
             ctx.schedule_in(phase, CHURN_TOKEN);
+        }
+        if let Some((_, phase)) = self.spoof {
+            ctx.schedule_in(phase, SPOOF_TOKEN);
         }
     }
     fn on_frame(&mut self, _ctx: &mut DeviceCtx<'_>, _port: PortId, _frame: &[u8]) {}
@@ -139,6 +244,15 @@ impl Device for ScaleHost {
                     ctx.schedule_in(period, CHURN_TOKEN);
                 }
             }
+            SPOOF_TOKEN => {
+                // "I am the gateway" — sender binding forged to steer
+                // the segment's traffic through this station.
+                let arp = ArpPacket::gratuitous(ArpOp::Reply, self.mac, GATEWAY_IP);
+                ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, self.mac, EtherType::ARP, &arp));
+                if let Some((period, _)) = self.spoof {
+                    ctx.schedule_in(period, SPOOF_TOKEN);
+                }
+            }
             _ => {}
         }
     }
@@ -146,9 +260,14 @@ impl Device for ScaleHost {
 
 /// The default router: answers directed ARP requests for its address
 /// and announces itself once at boot so every leaf CAM learns the
-/// uplink path before the first station asks.
+/// uplink path before the first station asks. On the VLAN fabric it
+/// sits on a trunk-all root port: boot announcements go out tagged
+/// once per access VLAN, and replies carry the VID the request
+/// arrived on — a router-on-a-stick in miniature.
 struct ScaleGateway {
     replies: u64,
+    /// Access VLANs served; empty on the flat fabric (untagged).
+    vlans: Vec<VlanId>,
 }
 
 impl Device for ScaleGateway {
@@ -160,7 +279,15 @@ impl Device for ScaleGateway {
     }
     fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
         let arp = ArpPacket::gratuitous(ArpOp::Reply, GATEWAY_MAC, GATEWAY_IP);
-        ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, GATEWAY_MAC, EtherType::ARP, &arp));
+        if self.vlans.is_empty() {
+            ctx.send(PortId(0), eth_frame(MacAddr::BROADCAST, GATEWAY_MAC, EtherType::ARP, &arp));
+        } else {
+            for &vid in &self.vlans {
+                let frame =
+                    vlan_frame(MacAddr::BROADCAST, GATEWAY_MAC, Some(vid), EtherType::ARP, &arp);
+                ctx.send(PortId(0), frame);
+            }
+        }
     }
     fn on_frame(&mut self, ctx: &mut DeviceCtx<'_>, _port: PortId, frame: &[u8]) {
         let Ok(view) = EthernetView::parse(frame) else { return };
@@ -171,7 +298,9 @@ impl Device for ScaleGateway {
         if arp.op == ArpOp::Request && arp.target_ip == GATEWAY_IP && !arp.is_gratuitous() {
             self.replies += 1;
             let reply = ArpPacket::reply_to(&arp, GATEWAY_MAC);
-            ctx.send(PortId(0), eth_frame(arp.sender_mac, GATEWAY_MAC, EtherType::ARP, &reply));
+            let frame =
+                vlan_frame(arp.sender_mac, GATEWAY_MAC, view.vlan(), EtherType::ARP, &reply);
+            ctx.send(PortId(0), frame);
         }
     }
 }
@@ -184,6 +313,20 @@ pub struct ScaleLan {
     pub n_hosts: usize,
     /// Root-switch handle (CAM holds every station that spoke).
     pub root: SwitchHandle,
+    /// Leaf-switch handles, in leaf order.
+    pub leaves: Vec<SwitchHandle>,
+    /// Alert log shared by the in-fabric DAI inspectors; present only
+    /// on the defended VLAN fabric.
+    pub alerts: Option<AlertLog>,
+}
+
+impl ScaleLan {
+    /// Frames dropped by in-fabric inspectors, summed over the root
+    /// and every leaf.
+    pub fn inspector_drops(&self) -> u64 {
+        let leaf_drops: u64 = self.leaves.iter().map(|l| l.stats.borrow().dropped_inspector).sum();
+        self.root.stats.borrow().dropped_inspector + leaf_drops
+    }
 }
 
 /// Builds the two-tier fabric for `config`.
@@ -192,12 +335,22 @@ pub struct ScaleLan {
 ///
 /// Panics if `n_hosts` is zero or needs more leaves than a root
 /// switch's 16-bit port space can take (not reachable below ~67M
-/// hosts).
+/// hosts). The VLAN fabric additionally requires one 802.1Q VID per
+/// leaf, capping it near 4M hosts.
 pub fn build(config: ScaleConfig) -> ScaleLan {
     assert!(config.n_hosts > 0, "a scale LAN needs at least one station");
     let n = config.n_hosts;
     let n_leaves = n.div_ceil(LEAF_CAPACITY);
-    assert!(n_leaves + 1 <= u16::MAX as usize, "root port space exhausted");
+    let root_ports = root_port_count(n);
+    let (vlan_fabric, defend) = match config.fabric {
+        Fabric::Flat => (false, false),
+        Fabric::Vlan { defend } => (true, defend),
+    };
+    if vlan_fabric {
+        // 802.1Q VIDs are 12-bit; 1..=9 and 4095 are reserved here.
+        assert!(leaf_vid(n_leaves - 1) < 4095, "VLAN id space exhausted");
+    }
+    let first_spoofer = n - config.spoofers.min(n);
 
     let mut sim = Simulator::new(config.seed);
     let host_leaf_latency = Duration::from_micros(5);
@@ -206,32 +359,82 @@ pub fn build(config: ScaleConfig) -> ScaleLan {
     // outlive the run or re-floods would dominate the measurement.
     let aging = config.duration * 2 + Duration::from_secs(60);
 
-    let (root, root_handle) = Switch::new(
+    let alerts = defend.then(AlertLog::new);
+    // The root trunks every access VLAN: port 0 (gateway) carries all
+    // of them, port l+1 carries exactly leaf l's VID — mis-wired tags
+    // die at the trunk instead of leaking across leaves.
+    let root_vlans = vlan_fabric.then(|| {
+        let mut ports = vec![PortVlan::Trunk { allowed: VlanSet::All }];
+        ports.extend(
+            (0..n_leaves).map(|l| PortVlan::Trunk { allowed: VlanSet::Only(vec![leaf_vid(l)]) }),
+        );
+        ports
+    });
+    let (mut root, root_handle) = Switch::new(
         "root",
         SwitchConfig {
-            ports: n_leaves + 1,
+            ports: root_ports,
             cam_capacity: n + 64,
             cam_aging: aging,
+            vlans: root_vlans,
             ..SwitchConfig::default()
         },
     );
+    if let Some(log) = &alerts {
+        // Root DAI: the gateway port is trusted, every leaf uplink is
+        // validated against the full per-VLAN station table — the
+        // second layer behind the leaf inspectors.
+        let mut dai = DaiConfig::new([PortId(0)]);
+        for i in 0..n {
+            dai = dai.with_static_on(leaf_vid(i / LEAF_CAPACITY), station_ip(i), station_mac(i));
+        }
+        root.set_inspector(Box::new(DaiInspector::new(dai, log.clone())));
+    }
     let root_id = sim.add_device(Box::new(root));
-    let gateway_id = sim.add_device(Box::new(ScaleGateway { replies: 0 }));
+    let gateway_vlans =
+        if vlan_fabric { (0..n_leaves).map(leaf_vid).collect() } else { Vec::new() };
+    let gateway_id = sim.add_device(Box::new(ScaleGateway { replies: 0, vlans: gateway_vlans }));
     sim.connect(gateway_id, PortId(0), root_id, PortId(0), leaf_root_latency)
         .expect("gateway uplink");
 
+    let mut leaf_handles = Vec::with_capacity(n_leaves);
     for leaf in 0..n_leaves {
         let leaf_hosts = LEAF_CAPACITY.min(n - leaf * LEAF_CAPACITY);
-        let (leaf_switch, _) = Switch::new(
+        let vid = leaf_vid(leaf);
+        // Station ports are access ports on the leaf's VID; the uplink
+        // trunks that VID (tagged) toward the root.
+        let leaf_vlans = vlan_fabric.then(|| {
+            let mut ports = vec![PortVlan::Access { pvid: vid }; leaf_hosts];
+            ports.push(PortVlan::Trunk { allowed: VlanSet::Only(vec![vid]) });
+            ports
+        });
+        let (mut leaf_switch, leaf_handle) = Switch::new(
             format!("leaf{leaf}"),
             SwitchConfig {
                 ports: leaf_hosts + 1,
                 cam_capacity: leaf_hosts + 64,
                 cam_aging: aging,
+                vlans: leaf_vlans,
                 ..SwitchConfig::default()
             },
         );
+        if let Some(log) = &alerts {
+            // Leaf DAI: the uplink (where gateway replies arrive) is
+            // trusted; station ports are validated against this leaf's
+            // bindings plus the gateway's, all scoped to the leaf VID.
+            let mut dai = DaiConfig::new([PortId(leaf_hosts as u16)]).with_static_on(
+                vid,
+                GATEWAY_IP,
+                GATEWAY_MAC,
+            );
+            for p in 0..leaf_hosts {
+                let i = leaf * LEAF_CAPACITY + p;
+                dai = dai.with_static_on(vid, station_ip(i), station_mac(i));
+            }
+            leaf_switch.set_inspector(Box::new(DaiInspector::new(dai, log.clone())));
+        }
         let leaf_id = sim.add_device(Box::new(leaf_switch));
+        leaf_handles.push(leaf_handle);
         // Uplink on the leaf's last port, root ports 1..=n_leaves.
         sim.connect(
             leaf_id,
@@ -246,6 +449,7 @@ pub fn build(config: ScaleConfig) -> ScaleLan {
             let i = leaf * LEAF_CAPACITY + p;
             let chat_ns = config.chat_period.as_nanos() as u64;
             let churn_ns = config.churn_period.as_nanos() as u64;
+            let spoof_ns = config.spoof_period.as_nanos() as u64;
             let host = ScaleHost {
                 name: format!("h{i}"),
                 mac: station_mac(i),
@@ -258,6 +462,12 @@ pub fn build(config: ScaleConfig) -> ScaleLan {
                         Duration::from_nanos(mix(config.seed ^ 0xC0DE, i as u64) % churn_ns),
                     )
                 }),
+                spoof: (i >= first_spoofer).then(|| {
+                    (
+                        config.spoof_period,
+                        Duration::from_nanos(mix(config.seed ^ 0x5D00F, i as u64) % spoof_ns),
+                    )
+                }),
             };
             let host_id = sim.add_device(Box::new(host));
             sim.connect(host_id, PortId(0), leaf_id, PortId(p as u16), host_leaf_latency)
@@ -265,7 +475,7 @@ pub fn build(config: ScaleConfig) -> ScaleLan {
         }
     }
 
-    ScaleLan { sim, n_hosts: n, root: root_handle }
+    ScaleLan { sim, n_hosts: n, root: root_handle, leaves: leaf_handles, alerts }
 }
 
 #[cfg(test)]
@@ -299,5 +509,75 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11).frames, 0);
+    }
+
+    #[test]
+    fn root_port_count_accepts_the_full_16_bit_port_space() {
+        // 65 535 leaves + the gateway port = 65 536 ports, exactly the
+        // number of ids a u16 can address (0..=65535). The old bound
+        // `n_leaves + 1 <= u16::MAX` rejected this valid maximum.
+        assert_eq!(root_port_count(65_535 * LEAF_CAPACITY), 65_536);
+        assert_eq!(root_port_count(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "root port space exhausted")]
+    fn root_port_count_rejects_a_65537th_port() {
+        root_port_count(65_535 * LEAF_CAPACITY + 1);
+    }
+
+    #[test]
+    fn vlan_fabric_still_chats_and_counts_match_across_reruns() {
+        let run = || {
+            let config =
+                ScaleConfig::new(13, 2500).with_duration(Duration::from_secs(3)).with_vlan_fabric();
+            let mut lan = build(config);
+            lan.sim.run_until(SimTime::ZERO + config.duration);
+            let occupancy = lan.root.cam.borrow().occupancy();
+            (lan.sim.wire_stats(), occupancy)
+        };
+        let (stats, cam) = run();
+        assert!(stats.frames > 0);
+        assert_eq!(stats.dropped_no_link, 0);
+        // The root CAM still learns every station, now under per-leaf
+        // VIDs carried across the trunks.
+        assert!(cam >= 2500, "root CAM holds {cam} entries");
+        assert_eq!(run().0, stats);
+    }
+
+    #[test]
+    fn dai_in_fabric_stops_spoofers_and_leaves_chat_alone() {
+        let build_pair = |defend: bool| {
+            let mut config =
+                ScaleConfig::new(21, 2100).with_duration(Duration::from_secs(3)).with_spoofers(4);
+            config.fabric = Fabric::Vlan { defend };
+            let mut lan = build(config);
+            lan.sim.run_until(SimTime::ZERO + config.duration);
+            lan
+        };
+
+        let defended = build_pair(true);
+        // Spoofed gateway claims die at the leaf DAI: every drop is
+        // alerted, and nothing leaks through to the root inspector.
+        let drops = defended.inspector_drops();
+        assert!(drops > 0, "spoofers should trip the leaf DAI");
+        let log = defended.alerts.as_ref().expect("defended fabric logs alerts");
+        assert_eq!(log.len() as u64, drops);
+        assert_eq!(defended.root.stats.borrow().dropped_inspector, 0);
+        // Legitimate refresh traffic is untouched: the CAM still saw
+        // every station.
+        assert!(defended.root.cam.borrow().occupancy() >= 2100);
+
+        let undefended = build_pair(false);
+        assert_eq!(undefended.inspector_drops(), 0);
+        assert!(undefended.alerts.is_none());
+        // The forged frames that DAI absorbed were real offered load:
+        // the undefended fabric carries more frames end to end.
+        let defended_frames = defended.sim.wire_stats().frames;
+        let undefended_frames = undefended.sim.wire_stats().frames;
+        assert!(
+            undefended_frames > defended_frames,
+            "undefended {undefended_frames} vs defended {defended_frames}"
+        );
     }
 }

@@ -62,8 +62,8 @@ pub use rng::SimRng;
 pub use sim::{Simulator, WireStats};
 pub use standalone::StandaloneDriver;
 pub use switch::{
-    CamEntry, CamTable, FailMode, FrameInspector, InspectVerdict, PortSecurityConfig, Switch,
-    SwitchConfig, SwitchHandle, SwitchStats, ViolationAction,
+    CamEntry, CamTable, FailMode, FrameInspector, InspectVerdict, PortSecurityConfig, PortVlan,
+    Switch, SwitchConfig, SwitchHandle, SwitchStats, ViolationAction, VlanId, VlanSet,
 };
 pub use time::SimTime;
 pub use trace::{Trace, TracedFrame};

@@ -3,16 +3,65 @@
 //! inspector (the hook the DAI scheme uses).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
 
-use arpshield_packet::{EthernetView, MacAddr};
+use arpshield_packet::{
+    EthernetView, EthernetViewMut, MacAddr, ETHERNET_HEADER_LEN, ETHERNET_MIN_PAYLOAD,
+    ETHERNET_VLAN_TAG_LEN,
+};
 use arpshield_trace::Tracer;
 
 use crate::device::{Device, DeviceCtx, PortId};
 use crate::frame::Frame;
 use crate::time::SimTime;
+
+/// An 802.1Q VLAN identifier (12 significant bits).
+///
+/// VID 0 is the "untagged" domain: a VLAN-unaware switch classifies every
+/// frame into it, which keeps the legacy single-domain behaviour and the
+/// VLAN-aware code on one path.
+pub type VlanId = u16;
+
+/// The set of VLANs a trunk port carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VlanSet {
+    /// Carries every VLAN (an uplink toward the core).
+    All,
+    /// Carries only the listed VIDs (typically one per leaf uplink).
+    Only(Vec<VlanId>),
+}
+
+impl VlanSet {
+    /// True when `vid` is carried by this set.
+    pub fn contains(&self, vid: VlanId) -> bool {
+        match self {
+            VlanSet::All => true,
+            VlanSet::Only(vids) => vids.contains(&vid),
+        }
+    }
+}
+
+/// Per-port VLAN mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortVlan {
+    /// Untagged member of exactly one VLAN: ingress frames must arrive
+    /// untagged and are classified into the PVID; egress frames leave
+    /// untagged. Tagged arrivals are dropped (and counted).
+    Access {
+        /// The port VLAN id frames are classified into.
+        pvid: VlanId,
+    },
+    /// Tagged member of every VID in `allowed`: ingress classification
+    /// comes from the outermost tag and the tag stack passes through
+    /// intact (QinQ included). Untagged or non-member arrivals are
+    /// dropped (and counted).
+    Trunk {
+        /// VIDs carried on this trunk.
+        allowed: VlanSet,
+    },
+}
 
 /// One CAM-table binding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,10 +77,14 @@ pub struct CamEntry {
 /// The switch's MAC-address table.
 ///
 /// Capacity-bounded with inactivity aging — exactly the properties MAC
-/// flooding exploits.
+/// flooding exploits. Entries are keyed by `(VLAN, MAC)`, so the same
+/// address on two VLANs holds two independent bindings: it neither flaps
+/// between ports nor leaks across broadcast domains. The VLAN-unaware
+/// [`learn`](CamTable::learn)/[`lookup`](CamTable::lookup) pair operates on
+/// VID 0, matching a switch with no VLAN configuration.
 #[derive(Debug, Clone)]
 pub struct CamTable {
-    entries: HashMap<MacAddr, CamEntry>,
+    entries: HashMap<(VlanId, MacAddr), CamEntry>,
     capacity: usize,
     aging: Duration,
 }
@@ -59,9 +112,21 @@ impl CamTable {
         CamTable { entries: HashMap::new(), capacity, aging }
     }
 
-    /// Attempts to learn or refresh `mac` on `port` at time `now`.
+    /// Attempts to learn or refresh `mac` on `port` at time `now`, in the
+    /// untagged (VID 0) domain.
     pub fn learn(&mut self, now: SimTime, mac: MacAddr, port: PortId) -> LearnOutcome {
-        if let Some(entry) = self.entries.get_mut(&mac) {
+        self.learn_vlan(now, 0, mac, port)
+    }
+
+    /// Attempts to learn or refresh `mac` on `port` within VLAN `vid`.
+    pub fn learn_vlan(
+        &mut self,
+        now: SimTime,
+        vid: VlanId,
+        mac: MacAddr,
+        port: PortId,
+    ) -> LearnOutcome {
+        if let Some(entry) = self.entries.get_mut(&(vid, mac)) {
             entry.last_seen = now;
             if entry.port == port {
                 return LearnOutcome::Refreshed;
@@ -80,13 +145,18 @@ impl CamTable {
         if self.entries.len() >= self.capacity {
             return LearnOutcome::Full;
         }
-        self.entries.insert(mac, CamEntry { port, learned_at: now, last_seen: now });
+        self.entries.insert((vid, mac), CamEntry { port, learned_at: now, last_seen: now });
         LearnOutcome::Learned
     }
 
-    /// Looks up the egress port for `mac`.
+    /// Looks up the egress port for `mac` in the untagged (VID 0) domain.
     pub fn lookup(&self, mac: MacAddr) -> Option<PortId> {
-        self.entries.get(&mac).map(|e| e.port)
+        self.lookup_vlan(0, mac)
+    }
+
+    /// Looks up the egress port for `mac` within VLAN `vid`.
+    pub fn lookup_vlan(&self, vid: VlanId, mac: MacAddr) -> Option<PortId> {
+        self.entries.get(&(vid, mac)).map(|e| e.port)
     }
 
     /// Evicts entries idle longer than the aging interval; returns how many
@@ -113,8 +183,8 @@ impl CamTable {
         self.entries.len() >= self.capacity
     }
 
-    /// Iterates over live `(mac, entry)` bindings.
-    pub fn iter(&self) -> impl Iterator<Item = (&MacAddr, &CamEntry)> {
+    /// Iterates over live `((vlan, mac), entry)` bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&(VlanId, MacAddr), &CamEntry)> {
         self.entries.iter()
     }
 }
@@ -170,12 +240,18 @@ pub enum InspectVerdict {
 /// inspection sits on the switch's per-frame fast path, where an owned
 /// parse would cost an allocation per ingress frame.
 pub trait FrameInspector {
-    /// Inspects a frame arriving on `ingress`; returning
+    /// Inspects a frame arriving on `ingress`, already classified into
+    /// `vlan` (0 on a VLAN-unaware switch); returning
     /// [`InspectVerdict::Deny`] drops it.
+    ///
+    /// The classified VID — not the raw tag — is passed so schemes can
+    /// scope their state per broadcast domain: a DAI binding snooped on
+    /// VLAN A must not validate ARP on VLAN B.
     fn inspect(
         &mut self,
         now: SimTime,
         ingress: PortId,
+        vlan: VlanId,
         frame: &EthernetView<'_>,
     ) -> InspectVerdict;
 }
@@ -193,8 +269,12 @@ pub struct SwitchStats {
     pub dropped_inspector: u64,
     /// Frames that failed Ethernet parsing at ingress and were dropped.
     pub dropped_unparseable: u64,
-    /// Most recent inspector drop reasons (bounded ring of 32).
-    pub inspector_reasons: Vec<String>,
+    /// Frames dropped by VLAN ingress rules (tagged arrival on an access
+    /// port, untagged or non-member VID on a trunk).
+    pub dropped_vlan: u64,
+    /// Most recent inspector drop reasons (bounded ring of 32; a deque so
+    /// eviction is O(1) on the per-frame ingress path).
+    pub inspector_reasons: VecDeque<String>,
     /// Times a learn attempt found the table full.
     pub cam_full_events: u64,
     /// Ports currently err-disabled by port security.
@@ -233,6 +313,10 @@ pub struct SwitchConfig {
     pub mirror_to: Option<PortId>,
     /// Optional per-port MAC limit.
     pub port_security: Option<PortSecurityConfig>,
+    /// Per-port VLAN modes, indexed by port number; the length must equal
+    /// `ports`. `None` keeps the switch VLAN-unaware: one broadcast
+    /// domain, and any tag stacks forward opaquely as payload bytes.
+    pub vlans: Option<Vec<PortVlan>>,
 }
 
 impl Default for SwitchConfig {
@@ -244,6 +328,7 @@ impl Default for SwitchConfig {
             fail_mode: FailMode::FloodOpen,
             mirror_to: None,
             port_security: None,
+            vlans: None,
         }
     }
 }
@@ -268,9 +353,84 @@ impl std::fmt::Debug for dyn FrameInspector {
     }
 }
 
+/// Outcome of ingress VLAN classification.
+enum Classified {
+    /// Frame admitted into `vid`; `tagged` records whether it carries an
+    /// outer tag on the wire, which drives egress re-tagging.
+    Member { vid: VlanId, tagged: bool },
+    /// Frame violates the ingress port's VLAN mode.
+    Drop,
+}
+
+/// The (at most two) egress representations of one ingress frame.
+///
+/// A flood across mixed access and trunk ports needs the frame both
+/// untagged and tagged; each form is built at most once — the one matching
+/// the ingress encapsulation is the shared ingress buffer itself, the
+/// other is rebuilt lazily on first use.
+struct EgressForms<'a> {
+    shared: &'a Frame,
+    vid: VlanId,
+    ingress_tagged: bool,
+    rebuilt: Option<Frame>,
+}
+
+impl EgressForms<'_> {
+    /// The frame as it should leave a port whose egress is `tagged`.
+    fn for_tagged(&mut self, tagged: bool) -> Frame {
+        if tagged == self.ingress_tagged {
+            return self.shared.clone();
+        }
+        let rebuilt = self.rebuilt.get_or_insert_with(|| {
+            if tagged {
+                tag_frame(self.shared, self.vid)
+            } else {
+                untag_frame(self.shared)
+            }
+        });
+        rebuilt.clone()
+    }
+}
+
+/// Builds a copy of `frame` with an 802.1Q tag for `vid` pushed after the
+/// addresses — access-to-trunk egress. The rest of the frame (including
+/// any inner tags, making QinQ stacking fall out for free) shifts right by
+/// one tag length.
+fn tag_frame(frame: &Frame, vid: VlanId) -> Frame {
+    let len = frame.len() + ETHERNET_VLAN_TAG_LEN;
+    Frame::build(len, |buf| {
+        buf[..12].copy_from_slice(&frame[..12]);
+        EthernetViewMut::new(buf).push_vlan(vid);
+        buf[12 + ETHERNET_VLAN_TAG_LEN..].copy_from_slice(&frame[12..]);
+        len
+    })
+}
+
+/// Builds a copy of `frame` with the outermost tag stripped — trunk-to-
+/// access egress — padded back up to the Ethernet minimum if the removal
+/// would make a runt (the pool buffer is pre-zeroed, so the padding is
+/// already in place).
+fn untag_frame(frame: &Frame) -> Frame {
+    let stripped = frame.len() - ETHERNET_VLAN_TAG_LEN;
+    let len = stripped.max(ETHERNET_HEADER_LEN + ETHERNET_MIN_PAYLOAD);
+    Frame::build(len, |buf| {
+        buf[..12].copy_from_slice(&frame[..12]);
+        buf[12..stripped].copy_from_slice(&frame[12 + ETHERNET_VLAN_TAG_LEN..]);
+        len
+    })
+}
+
 impl Switch {
     /// Creates a switch and its inspection handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VLAN table is configured whose length differs from the
+    /// port count.
     pub fn new(name: impl Into<String>, config: SwitchConfig) -> (Self, SwitchHandle) {
+        if let Some(vlans) = &config.vlans {
+            assert_eq!(vlans.len(), config.ports, "per-port VLAN table must cover every port");
+        }
         let cam = Rc::new(RefCell::new(CamTable::new(config.cam_capacity, config.cam_aging)));
         let stats = Rc::new(RefCell::new(SwitchStats::default()));
         let handle = SwitchHandle { cam: Rc::clone(&cam), stats: Rc::clone(&stats) };
@@ -298,16 +458,53 @@ impl Switch {
         self.tracer = tracer;
     }
 
-    fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, frame: &Frame) {
-        for p in 0..self.config.ports as u16 {
-            let p = PortId(p);
+    /// Classifies an ingress frame into a VLAN according to the port's
+    /// mode. A VLAN-unaware switch admits everything into VID 0 with the
+    /// bytes treated as opaque (no re-tagging ever happens).
+    fn classify(&self, port: PortId, eth: &EthernetView<'_>) -> Classified {
+        let Some(vlans) = &self.config.vlans else {
+            return Classified::Member { vid: 0, tagged: false };
+        };
+        match &vlans[port.0 as usize] {
+            PortVlan::Access { pvid } => match eth.vlan() {
+                None => Classified::Member { vid: *pvid, tagged: false },
+                Some(_) => Classified::Drop,
+            },
+            PortVlan::Trunk { allowed } => match eth.vlan() {
+                Some(vid) if allowed.contains(vid) => Classified::Member { vid, tagged: true },
+                _ => Classified::Drop,
+            },
+        }
+    }
+
+    /// Whether `vid` may egress through `port`: `Some(tagged)` when the
+    /// port is a member (`tagged` selects the egress encapsulation), `None`
+    /// when the port is outside the VLAN's flood domain.
+    fn egress_mode(&self, port: PortId, vid: VlanId) -> Option<bool> {
+        match &self.config.vlans {
+            None => Some(false),
+            Some(vlans) => match &vlans[port.0 as usize] {
+                PortVlan::Access { pvid } => (*pvid == vid).then_some(false),
+                PortVlan::Trunk { allowed } => allowed.contains(vid).then_some(true),
+            },
+        }
+    }
+
+    fn flood(&self, ctx: &mut DeviceCtx<'_>, ingress: PortId, forms: &mut EgressForms<'_>) {
+        // `ports` may legitimately be 65536 (every PortId addressable), so
+        // iterate the usize range and narrow per port.
+        for p in 0..self.config.ports {
+            let p = PortId(p as u16);
             if p == ingress || Some(p) == self.config.mirror_to {
                 continue;
             }
             if self.stats.borrow().shutdown_ports.contains(&p) {
                 continue;
             }
-            ctx.send(p, frame.clone());
+            let Some(tagged) = self.egress_mode(p, forms.vid) else {
+                continue;
+            };
+            ctx.send(p, forms.for_tagged(tagged));
         }
     }
 }
@@ -355,9 +552,27 @@ impl Device for Switch {
             return;
         };
 
-        // Ingress inspection (DAI etc.).
+        // VLAN ingress classification, ahead of everything else: a frame
+        // outside the port's configured domain never reaches the
+        // inspector, the CAM, or a flood.
+        let (vid, ingress_tagged) = match self.classify(port, &eth) {
+            Classified::Member { vid, tagged } => (vid, tagged),
+            Classified::Drop => {
+                self.stats.borrow_mut().dropped_vlan += 1;
+                self.tracer.count("switch.drop.vlan", 1);
+                self.tracer.event(ctx.now().as_nanos(), "switch.drop.vlan", || {
+                    (
+                        self.name.clone(),
+                        format!("port={} src={} tag={:?}", port.0, eth.src(), eth.vlan()),
+                    )
+                });
+                return;
+            }
+        };
+
+        // Ingress inspection (DAI etc.), scoped to the classified VLAN.
         if let Some(inspector) = &mut self.inspector {
-            if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, &eth) {
+            if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, vid, &eth) {
                 self.tracer.count("switch.drop.inspector", 1);
                 self.tracer.event(ctx.now().as_nanos(), "switch.drop.inspector", || {
                     (
@@ -368,9 +583,9 @@ impl Device for Switch {
                 let mut stats = self.stats.borrow_mut();
                 stats.dropped_inspector += 1;
                 if stats.inspector_reasons.len() >= 32 {
-                    stats.inspector_reasons.remove(0);
+                    stats.inspector_reasons.pop_front();
                 }
-                stats.inspector_reasons.push(reason);
+                stats.inspector_reasons.push_back(reason);
                 return;
             }
         }
@@ -410,9 +625,9 @@ impl Device for Switch {
             }
         }
 
-        // Source learning.
+        // Source learning, scoped to the classified VLAN.
         if eth.src().is_unicast() && !eth.src().is_zero() {
-            let outcome = self.cam.borrow_mut().learn(ctx.now(), eth.src(), port);
+            let outcome = self.cam.borrow_mut().learn_vlan(ctx.now(), vid, eth.src(), port);
             match outcome {
                 LearnOutcome::Learned => self.tracer.count("switch.learn.new", 1),
                 LearnOutcome::Refreshed => self.tracer.count("switch.learn.refreshed", 1),
@@ -452,14 +667,20 @@ impl Device for Switch {
         // Forwarding decision first, so the mirror copy can be skipped
         // when the frame's own egress *is* the mirror port (it would
         // otherwise arrive twice there).
-        let unicast_out =
-            if eth.dst().is_unicast() { self.cam.borrow().lookup(eth.dst()) } else { None };
+        let unicast_out = if eth.dst().is_unicast() {
+            self.cam.borrow().lookup_vlan(vid, eth.dst())
+        } else {
+            None
+        };
 
         // Every egress copy below — mirror, unicast forward, flood —
-        // shares the ingress frame's buffer instead of re-allocating it.
+        // shares the ingress frame's buffer; only a tag/untag boundary
+        // builds one fresh frame, reused for every port of that kind.
         let shared = ctx.incoming_frame().expect("on_frame always carries a frame");
+        let mut forms = EgressForms { shared: &shared, vid, ingress_tagged, rebuilt: None };
 
-        // Mirror a copy of every (accepted) ingress frame.
+        // Mirror a copy of every (accepted) ingress frame, exactly as it
+        // arrived — SPAN shows wire reality, not the egress rewrite.
         if let Some(mirror) = self.config.mirror_to {
             if mirror != port && unicast_out != Some(mirror) {
                 ctx.send(mirror, shared.clone());
@@ -469,16 +690,18 @@ impl Device for Switch {
         if eth.dst().is_unicast() {
             if let Some(out) = unicast_out {
                 if out != port && !self.stats.borrow().shutdown_ports.contains(&out) {
-                    ctx.send(out, shared.clone());
-                    self.stats.borrow_mut().forwarded += 1;
-                    self.tracer.count("switch.forwarded", 1);
+                    if let Some(tagged) = self.egress_mode(out, vid) {
+                        ctx.send(out, forms.for_tagged(tagged));
+                        self.stats.borrow_mut().forwarded += 1;
+                        self.tracer.count("switch.forwarded", 1);
+                    }
                 }
                 return;
             }
         }
         self.stats.borrow_mut().flooded += 1;
         self.tracer.count("switch.flooded", 1);
-        self.flood(ctx, port, &shared);
+        self.flood(ctx, port, &mut forms);
     }
 }
 
@@ -768,7 +991,13 @@ mod tests {
     fn inspector_can_drop_frames() {
         struct DenyAll;
         impl FrameInspector for DenyAll {
-            fn inspect(&mut self, _: SimTime, _: PortId, _: &EthernetView<'_>) -> InspectVerdict {
+            fn inspect(
+                &mut self,
+                _: SimTime,
+                _: PortId,
+                _: VlanId,
+                _: &EthernetView<'_>,
+            ) -> InspectVerdict {
                 InspectVerdict::Deny { reason: "test".into() }
             }
         }
@@ -784,5 +1013,228 @@ mod tests {
         assert_eq!(b_rx.borrow().len(), 0);
         assert_eq!(handle.stats.borrow().dropped_inspector, 1);
         assert_eq!(handle.stats.borrow().inspector_reasons, vec!["test".to_string()]);
+    }
+
+    #[test]
+    fn inspector_reason_ring_keeps_newest_32() {
+        struct DenySeq(u64);
+        impl FrameInspector for DenySeq {
+            fn inspect(
+                &mut self,
+                _: SimTime,
+                _: PortId,
+                _: VlanId,
+                _: &EthernetView<'_>,
+            ) -> InspectVerdict {
+                self.0 += 1;
+                InspectVerdict::Deny { reason: format!("r{}", self.0 - 1) }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let (mut sw, handle) = Switch::new("sw", SwitchConfig { ports: 4, ..Default::default() });
+        sw.set_inspector(Box::new(DenySeq(0)));
+        let sw = sim.add_device(Box::new(sw));
+        let plan = (0..40u64)
+            .map(|i| (i + 1, frame(MacAddr::from_index(1), MacAddr::BROADCAST)))
+            .collect();
+        let (a, _) = Station::new(plan);
+        wire(&mut sim, a, sw, 0);
+        sim.run_until(SimTime::from_secs(1));
+        let stats = handle.stats.borrow();
+        assert_eq!(stats.dropped_inspector, 40);
+        assert_eq!(stats.inspector_reasons.len(), 32, "ring stays bounded");
+        assert_eq!(stats.inspector_reasons.front().map(String::as_str), Some("r8"));
+        assert_eq!(stats.inspector_reasons.back().map(String::as_str), Some("r39"));
+    }
+
+    fn access(pvid: VlanId) -> PortVlan {
+        PortVlan::Access { pvid }
+    }
+
+    fn trunk(vids: &[VlanId]) -> PortVlan {
+        PortVlan::Trunk { allowed: VlanSet::Only(vids.to_vec()) }
+    }
+
+    fn tagged_frame(src: MacAddr, dst: MacAddr, vid: VlanId) -> Vec<u8> {
+        EthernetFrame::new(dst, src, EtherType::Other(0x1234), vec![0; 46]).with_vlan(vid).encode()
+    }
+
+    #[test]
+    fn vlan_flood_domains_are_isolated() {
+        // Ports 0-1 on VID 10, ports 2-3 on VID 20: a broadcast entering
+        // VID 10 must reach its peer and nobody on VID 20.
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 4,
+            vlans: Some(vec![access(10), access(10), access(20), access(20)]),
+            ..Default::default()
+        };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(MacAddr::from_index(1), MacAddr::BROADCAST))]);
+        let (b, b_rx) = Station::new(vec![]);
+        let (c, c_rx) = Station::new(vec![]);
+        let (d, d_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        wire(&mut sim, c, sw, 2);
+        wire(&mut sim, d, sw, 3);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(b_rx.borrow().len(), 1, "same-VLAN peer sees the broadcast");
+        assert_eq!(c_rx.borrow().len(), 0, "VID 20 port is outside the flood domain");
+        assert_eq!(d_rx.borrow().len(), 0);
+    }
+
+    #[test]
+    fn access_to_trunk_egress_tags_golden_bytes() {
+        let src = MacAddr::from_index(1);
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 2,
+            vlans: Some(vec![access(7), trunk(&[7])]),
+            ..Default::default()
+        };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(src, MacAddr::BROADCAST))]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        let got = b_rx.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], tagged_frame(src, MacAddr::BROADCAST, 7), "PVID tag pushed on egress");
+    }
+
+    #[test]
+    fn trunk_to_access_egress_untags() {
+        let src = MacAddr::from_index(1);
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 2,
+            vlans: Some(vec![trunk(&[7]), access(7)]),
+            ..Default::default()
+        };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, tagged_frame(src, MacAddr::BROADCAST, 7))]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        let got = b_rx.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], frame(src, MacAddr::BROADCAST), "tag stripped, padding restored");
+    }
+
+    #[test]
+    fn trunk_to_trunk_passes_qinq_stack_through_untouched() {
+        // Hand-spliced QinQ frame: 802.1ad S-tag (VID 0xFFE) outermost,
+        // 802.1Q C-tag (VID 2) inside — same fixture the wire writers pin.
+        let mut qinq = Vec::new();
+        qinq.extend_from_slice(MacAddr::BROADCAST.as_bytes());
+        qinq.extend_from_slice(MacAddr::from_index(7).as_bytes());
+        qinq.extend_from_slice(&[0x88, 0xa8, 0x0F, 0xFE]);
+        qinq.extend_from_slice(&[0x81, 0x00, 0x00, 0x02]);
+        qinq.extend_from_slice(&[0x08, 0x06]);
+        qinq.extend_from_slice(&[0u8; 46]);
+
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 2,
+            vlans: Some(vec![trunk(&[0xFFE]), trunk(&[0xFFE])]),
+            ..Default::default()
+        };
+        let (sw, _) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, qinq.clone())]);
+        let (b, b_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        let got = b_rx.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], qinq, "trunk egress forwards the full tag stack byte-for-byte");
+    }
+
+    #[test]
+    fn vlan_ingress_violations_are_dropped_and_counted() {
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 3,
+            vlans: Some(vec![access(10), trunk(&[10]), access(10)]),
+            ..Default::default()
+        };
+        let (sw, handle) = Switch::new("sw", config);
+        let sw = sim.add_device(Box::new(sw));
+        // Tagged frame on an access port, untagged on a trunk, and a
+        // non-member VID on the trunk: all three must die at ingress.
+        let (a, _) =
+            Station::new(vec![(1, tagged_frame(MacAddr::from_index(1), MacAddr::BROADCAST, 10))]);
+        let (b, _) = Station::new(vec![
+            (2, frame(MacAddr::from_index(2), MacAddr::BROADCAST)),
+            (3, tagged_frame(MacAddr::from_index(2), MacAddr::BROADCAST, 99)),
+        ]);
+        let (c, c_rx) = Station::new(vec![]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        wire(&mut sim, c, sw, 2);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(handle.stats.borrow().dropped_vlan, 3);
+        assert_eq!(c_rx.borrow().len(), 0);
+    }
+
+    #[test]
+    fn same_mac_on_two_vlans_neither_flaps_nor_leaks() {
+        let mac = MacAddr::from_index(5);
+        let mut cam = CamTable::new(10, Duration::from_secs(60));
+        assert_eq!(cam.learn_vlan(SimTime::ZERO, 10, mac, PortId(0)), LearnOutcome::Learned);
+        assert_eq!(
+            cam.learn_vlan(SimTime::from_secs(1), 20, mac, PortId(3)),
+            LearnOutcome::Learned,
+            "a second VLAN is a fresh binding, not a station move"
+        );
+        assert_eq!(cam.lookup_vlan(10, mac), Some(PortId(0)));
+        assert_eq!(cam.lookup_vlan(20, mac), Some(PortId(3)));
+        assert_eq!(cam.lookup_vlan(30, mac), None, "no leak into unrelated VLANs");
+        assert_eq!(cam.occupancy(), 2);
+    }
+
+    #[test]
+    fn inspector_sees_the_classified_vid() {
+        struct RecordVids(Rc<RefCell<Vec<VlanId>>>);
+        impl FrameInspector for RecordVids {
+            fn inspect(
+                &mut self,
+                _: SimTime,
+                _: PortId,
+                vlan: VlanId,
+                _: &EthernetView<'_>,
+            ) -> InspectVerdict {
+                self.0.borrow_mut().push(vlan);
+                InspectVerdict::Permit
+            }
+        }
+        let vids = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let config = SwitchConfig {
+            ports: 2,
+            vlans: Some(vec![access(42), trunk(&[42])]),
+            ..Default::default()
+        };
+        let (mut sw, _) = Switch::new("sw", config);
+        sw.set_inspector(Box::new(RecordVids(Rc::clone(&vids))));
+        let sw = sim.add_device(Box::new(sw));
+        let (a, _) = Station::new(vec![(1, frame(MacAddr::from_index(1), MacAddr::BROADCAST))]);
+        let (b, _) =
+            Station::new(vec![(2, tagged_frame(MacAddr::from_index(2), MacAddr::BROADCAST, 42))]);
+        wire(&mut sim, a, sw, 0);
+        wire(&mut sim, b, sw, 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            *vids.borrow(),
+            vec![42, 42],
+            "access PVID and trunk tag both classify to the VID"
+        );
     }
 }

@@ -16,15 +16,23 @@
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Checksum {
     sum: u32,
+    /// High byte of a half-filled word: an odd trailing byte from
+    /// [`Checksum::add_bytes`] waits here for the next call's first byte,
+    /// so a buffer fed in slices sums identically at any split points.
+    pending: Option<u8>,
 }
 
 impl Checksum {
     /// Creates an empty accumulator.
     pub const fn new() -> Self {
-        Checksum { sum: 0 }
+        Checksum { sum: 0, pending: None }
     }
 
     /// Adds one big-endian 16-bit word.
+    ///
+    /// Word-granular additions (including the pseudo-header helpers) are
+    /// independent of the byte stream: they do not consume or disturb a
+    /// pending odd byte from [`Checksum::add_bytes`].
     pub fn add_u16(&mut self, word: u16) {
         self.sum += u32::from(word);
     }
@@ -36,19 +44,38 @@ impl Checksum {
         self.add_u16((value & 0xffff) as u16);
     }
 
-    /// Adds a byte slice, padding an odd trailing byte with zero per RFC 1071.
+    /// Adds a byte slice. An odd trailing byte is carried into the next
+    /// `add_bytes` call, so chunked feeding matches the whole-buffer sum
+    /// regardless of where the splits fall; a byte still pending at
+    /// [`Checksum::finish`] is zero-padded per RFC 1071.
     pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut bytes = bytes;
+        if let Some(high) = self.pending.take() {
+            match bytes.split_first() {
+                Some((low, rest)) => {
+                    self.add_u16(u16::from_be_bytes([high, *low]));
+                    bytes = rest;
+                }
+                None => {
+                    self.pending = Some(high);
+                    return;
+                }
+            }
+        }
         let mut chunks = bytes.chunks_exact(2);
         for chunk in &mut chunks {
             self.add_u16(u16::from_be_bytes([chunk[0], chunk[1]]));
         }
         if let [last] = chunks.remainder() {
-            self.add_u16(u16::from_be_bytes([*last, 0]));
+            self.pending = Some(*last);
         }
     }
 
     /// Folds carries and returns the one's-complement checksum.
     pub fn finish(mut self) -> u16 {
+        if let Some(high) = self.pending.take() {
+            self.add_u16(u16::from_be_bytes([high, 0]));
+        }
         while self.sum >> 16 != 0 {
             self.sum = (self.sum & 0xffff) + (self.sum >> 16);
         }
@@ -109,15 +136,36 @@ mod tests {
         let data: Vec<u8> = (0u8..=255).collect();
         let mut inc = Checksum::new();
         inc.add_bytes(&data[..100]);
-        inc.add_bytes(&data[100..101]); // force odd split
+        inc.add_bytes(&data[100..101]); // odd split: byte carried, not padded
         inc.add_bytes(&data[101..]);
-        // An odd split inserts padding, so it legitimately differs; compare
-        // only even splits to the one-shot result.
+        assert_eq!(inc.finish(), internet_checksum(&data));
         let mut even = Checksum::new();
         even.add_bytes(&data[..100]);
         even.add_bytes(&data[100..]);
         assert_eq!(even.finish(), internet_checksum(&data));
-        let _ = inc.finish();
+    }
+
+    #[test]
+    fn odd_splits_carry_across_calls() {
+        // 0xab 0xcd fed one byte at a time must sum as the word 0xabcd,
+        // not as two padded words 0xab00 + 0xcd00.
+        let mut inc = Checksum::new();
+        inc.add_bytes(&[0xab]);
+        inc.add_bytes(&[0xcd]);
+        assert_eq!(inc.finish(), internet_checksum(&[0xab, 0xcd]));
+        // An empty slice between odd chunks keeps the pending byte intact.
+        let mut inc = Checksum::new();
+        inc.add_bytes(&[0xab]);
+        inc.add_bytes(&[]);
+        inc.add_bytes(&[0xcd, 0xef]);
+        assert_eq!(inc.finish(), internet_checksum(&[0xab, 0xcd, 0xef]));
+    }
+
+    #[test]
+    fn pending_byte_pads_at_finish() {
+        let mut inc = Checksum::new();
+        inc.add_bytes(&[0x12, 0x34, 0x56]);
+        assert_eq!(inc.finish(), internet_checksum(&[0x12, 0x34, 0x56]));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use arpshield_netsim::{FrameInspector, InspectVerdict, PortId, SimTime};
+use arpshield_netsim::{FrameInspector, InspectVerdict, PortId, SimTime, VlanId};
 use arpshield_packet::{
     ArpPacket, DhcpMessage, DhcpMessageType, EtherType, EthernetView, IpProtocol, Ipv4Addr,
     Ipv4Packet, MacAddr, UdpDatagram, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
@@ -27,8 +27,9 @@ const SCHEME: &str = "dai";
 pub struct DaiConfig {
     /// Ports exempt from validation (uplinks, the DHCP server port).
     pub trusted_ports: HashSet<PortId>,
-    /// Statically configured bindings (for non-DHCP hosts).
-    pub static_bindings: Vec<(Ipv4Addr, MacAddr)>,
+    /// Statically configured `(vlan, ip, mac)` bindings for non-DHCP
+    /// hosts. VID 0 is the untagged domain of a VLAN-unaware switch.
+    pub static_bindings: Vec<(VlanId, Ipv4Addr, MacAddr)>,
     /// Drop DHCP *server* messages (OFFER/ACK/NAK) arriving on untrusted
     /// ports — the rogue-DHCP-server guard that real DHCP snooping
     /// provides.
@@ -45,9 +46,15 @@ impl DaiConfig {
         }
     }
 
-    /// Adds a static binding for a non-DHCP host.
-    pub fn with_static(mut self, ip: Ipv4Addr, mac: MacAddr) -> Self {
-        self.static_bindings.push((ip, mac));
+    /// Adds a static binding for a non-DHCP host in the untagged (VID 0)
+    /// domain.
+    pub fn with_static(self, ip: Ipv4Addr, mac: MacAddr) -> Self {
+        self.with_static_on(0, ip, mac)
+    }
+
+    /// Adds a static binding scoped to one VLAN.
+    pub fn with_static_on(mut self, vlan: VlanId, ip: Ipv4Addr, mac: MacAddr) -> Self {
+        self.static_bindings.push((vlan, ip, mac));
         self
     }
 }
@@ -59,7 +66,10 @@ impl DaiConfig {
 pub struct DaiInspector {
     config: DaiConfig,
     log: AlertLog,
-    bindings: Rc<RefCell<HashMap<Ipv4Addr, MacAddr>>>,
+    /// Bindings keyed per VLAN: a lease snooped on VLAN A says nothing
+    /// about VLAN B, exactly as on real hardware where the snooping
+    /// database is `(vlan, ip) -> mac`.
+    bindings: Rc<RefCell<HashMap<(VlanId, Ipv4Addr), MacAddr>>>,
     /// Leases learned by snooping.
     pub snooped: u64,
     /// Frames denied.
@@ -69,7 +79,8 @@ pub struct DaiInspector {
 impl DaiInspector {
     /// Creates an inspector reporting into `log`.
     pub fn new(config: DaiConfig, log: AlertLog) -> Self {
-        let bindings: HashMap<Ipv4Addr, MacAddr> = config.static_bindings.iter().copied().collect();
+        let bindings: HashMap<(VlanId, Ipv4Addr), MacAddr> =
+            config.static_bindings.iter().map(|&(vlan, ip, mac)| ((vlan, ip), mac)).collect();
         DaiInspector {
             config,
             log,
@@ -79,8 +90,8 @@ impl DaiInspector {
         }
     }
 
-    /// A shared handle onto the live binding table.
-    pub fn table(&self) -> Rc<RefCell<HashMap<Ipv4Addr, MacAddr>>> {
+    /// A shared handle onto the live `(vlan, ip) -> mac` binding table.
+    pub fn table(&self) -> Rc<RefCell<HashMap<(VlanId, Ipv4Addr), MacAddr>>> {
         Rc::clone(&self.bindings)
     }
 
@@ -88,6 +99,7 @@ impl DaiInspector {
         &mut self,
         now: SimTime,
         kind: AlertKind,
+        vlan: VlanId,
         ip: Ipv4Addr,
         mac: MacAddr,
         reason: &str,
@@ -99,7 +111,7 @@ impl DaiInspector {
             kind,
             subject_ip: Some(ip),
             observed_mac: Some(mac),
-            expected_mac: self.bindings.borrow().get(&ip).copied(),
+            expected_mac: self.bindings.borrow().get(&(vlan, ip)).copied(),
         });
         InspectVerdict::Deny { reason: reason.to_string() }
     }
@@ -108,6 +120,7 @@ impl DaiInspector {
         &mut self,
         eth: &EthernetView<'_>,
         trusted: bool,
+        vlan: VlanId,
         now: SimTime,
     ) -> Option<InspectVerdict> {
         let pkt = Ipv4Packet::parse(eth.payload()).ok()?;
@@ -126,6 +139,7 @@ impl DaiInspector {
             return Some(self.deny(
                 now,
                 AlertKind::DaiViolation,
+                vlan,
                 pkt.src,
                 eth.src(),
                 "dhcp server message on untrusted port",
@@ -135,15 +149,19 @@ impl DaiInspector {
             && msg.message_type() == Some(DhcpMessageType::Ack)
             && !msg.yiaddr.is_unspecified()
         {
-            self.bindings.borrow_mut().insert(msg.yiaddr, msg.chaddr);
+            self.bindings.borrow_mut().insert((vlan, msg.yiaddr), msg.chaddr);
             self.snooped += 1;
         }
         if msg.message_type() == Some(DhcpMessageType::Release) {
             // Trust releases only when the lease matches the releasing MAC.
-            let matches =
-                self.bindings.borrow().get(&msg.ciaddr).map(|m| *m == msg.chaddr).unwrap_or(false);
+            let matches = self
+                .bindings
+                .borrow()
+                .get(&(vlan, msg.ciaddr))
+                .map(|m| *m == msg.chaddr)
+                .unwrap_or(false);
             if matches {
-                self.bindings.borrow_mut().remove(&msg.ciaddr);
+                self.bindings.borrow_mut().remove(&(vlan, msg.ciaddr));
             }
         }
         None
@@ -151,12 +169,18 @@ impl DaiInspector {
 }
 
 impl FrameInspector for DaiInspector {
-    fn inspect(&mut self, now: SimTime, ingress: PortId, eth: &EthernetView<'_>) -> InspectVerdict {
+    fn inspect(
+        &mut self,
+        now: SimTime,
+        ingress: PortId,
+        vlan: VlanId,
+        eth: &EthernetView<'_>,
+    ) -> InspectVerdict {
         let trusted = self.config.trusted_ports.contains(&ingress);
         match eth.ethertype() {
             EtherType::Ipv4 => {
                 self.log.add_work(SCHEME, work::INSPECT);
-                if let Some(verdict) = self.snoop_dhcp(eth, trusted, now) {
+                if let Some(verdict) = self.snoop_dhcp(eth, trusted, vlan, now) {
                     return verdict;
                 }
                 InspectVerdict::Permit
@@ -172,7 +196,7 @@ impl FrameInspector for DaiInspector {
                 if arp.sender_ip.is_unspecified() {
                     return InspectVerdict::Permit; // probes carry no claim
                 }
-                let bound = self.bindings.borrow().get(&arp.sender_ip).copied();
+                let bound = self.bindings.borrow().get(&(vlan, arp.sender_ip)).copied();
                 match bound {
                     Some(mac) if mac == arp.sender_mac && eth.src() == arp.sender_mac => {
                         InspectVerdict::Permit
@@ -180,6 +204,7 @@ impl FrameInspector for DaiInspector {
                     Some(_) => self.deny(
                         now,
                         AlertKind::DaiViolation,
+                        vlan,
                         arp.sender_ip,
                         arp.sender_mac,
                         "arp sender does not match binding table",
@@ -187,6 +212,7 @@ impl FrameInspector for DaiInspector {
                     None => self.deny(
                         now,
                         AlertKind::DaiViolation,
+                        vlan,
                         arp.sender_ip,
                         arp.sender_mac,
                         "no binding for arp sender",
@@ -226,7 +252,7 @@ mod tests {
     fn matching_binding_permits() {
         let (mut dai, log) = inspector();
         let frame = arp_frame(MacAddr::from_index(5), IP, MacAddr::from_index(5));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)), InspectVerdict::Permit);
+        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), 0, &view(&frame)), InspectVerdict::Permit);
         assert!(log.is_empty());
     }
 
@@ -235,7 +261,7 @@ mod tests {
         let (mut dai, log) = inspector();
         let frame = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(66));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)),
+            dai.inspect(SimTime::ZERO, PortId(1), 0, &view(&frame)),
             InspectVerdict::Deny { .. }
         ));
         assert_eq!(log.alerts()[0].kind, AlertKind::DaiViolation);
@@ -249,7 +275,7 @@ mod tests {
         // Correct ARP fields but the frame's L2 source is someone else.
         let frame = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(5));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &view(&frame)),
+            dai.inspect(SimTime::ZERO, PortId(1), 0, &view(&frame)),
             InspectVerdict::Deny { .. }
         ));
     }
@@ -260,20 +286,45 @@ mod tests {
         let unknown =
             arp_frame(MacAddr::from_index(9), Ipv4Addr::new(10, 0, 0, 9), MacAddr::from_index(9));
         assert!(matches!(
-            dai.inspect(SimTime::ZERO, PortId(1), &view(&unknown)),
+            dai.inspect(SimTime::ZERO, PortId(1), 0, &view(&unknown)),
             InspectVerdict::Deny { .. }
         ));
         let probe =
             arp_frame(MacAddr::from_index(9), Ipv4Addr::UNSPECIFIED, MacAddr::from_index(9));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), &view(&probe)), InspectVerdict::Permit);
+        assert_eq!(dai.inspect(SimTime::ZERO, PortId(1), 0, &view(&probe)), InspectVerdict::Permit);
     }
 
     #[test]
     fn trusted_port_bypasses() {
         let (mut dai, log) = inspector();
         let forged = arp_frame(MacAddr::from_index(66), IP, MacAddr::from_index(66));
-        assert_eq!(dai.inspect(SimTime::ZERO, PortId(0), &view(&forged)), InspectVerdict::Permit);
+        assert_eq!(
+            dai.inspect(SimTime::ZERO, PortId(0), 0, &view(&forged)),
+            InspectVerdict::Permit
+        );
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn bindings_are_scoped_per_vlan() {
+        // The binding for IP lives on VLAN 10 only.
+        let log = AlertLog::new();
+        let config = DaiConfig::new([PortId(0)]).with_static_on(10, IP, MacAddr::from_index(5));
+        let mut dai = DaiInspector::new(config, log.clone());
+        let frame = arp_frame(MacAddr::from_index(5), IP, MacAddr::from_index(5));
+        // The genuine claim validates on its own VLAN...
+        assert_eq!(
+            dai.inspect(SimTime::ZERO, PortId(1), 10, &view(&frame)),
+            InspectVerdict::Permit
+        );
+        // ...but the identical frame on VLAN 20 finds no binding there:
+        // a lease on one VLAN must not validate ARP on another.
+        assert!(matches!(
+            dai.inspect(SimTime::ZERO, PortId(1), 20, &view(&frame)),
+            InspectVerdict::Deny { .. }
+        ));
+        assert_eq!(dai.denied, 1);
+        assert_eq!(log.alerts()[0].expected_mac, None, "no cross-VLAN expectation leaked");
     }
 
     // DHCP snooping behaviour (lease learning, rogue-server blocking) is

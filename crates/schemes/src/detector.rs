@@ -234,7 +234,10 @@ impl Detector {
             if let Ok(eth) = EthernetView::parse(bytes) {
                 let port =
                     if eth.ethertype() == EtherType::ARP { UNTRUSTED_PORT } else { TRUSTED_PORT };
-                if let InspectVerdict::Deny { .. } = inspector.inspect(now, port, &eth) {
+                // Captures carry the wire tag (if any); untagged traffic
+                // lands in the VID-0 domain, matching the switch contract.
+                let vlan = eth.vlan().unwrap_or(0);
+                if let InspectVerdict::Deny { .. } = inspector.inspect(now, port, vlan, &eth) {
                     self.stats.denied += 1;
                 }
             }

@@ -447,7 +447,7 @@ fn dai_blocks_forged_arp_and_snoops_leases() {
     assert!(stats.received as f64 / stats.sent as f64 > 0.9);
     // Lease snooped.
     let leased = dhcp_h.ip().expect("dhcp client should bind through DAI");
-    assert_eq!(table.borrow().get(&leased), Some(&mac(3)));
+    assert_eq!(table.borrow().get(&(0, leased)), Some(&mac(3)));
 }
 
 #[test]

@@ -62,17 +62,25 @@ done
 grep -q "scheme.verdict" "$capture_out/t3.timeline"
 rm -rf "$capture_out"
 
-echo "==> reproduce t6s smoke (scale sweep, thread-count byte identity)"
+echo "==> reproduce t6s --defend smoke (scale sweep, thread-count byte identity)"
 t6s_out="$(mktemp -d)"
 # Small host counts so the smoke stays fast; the published sweep runs
-# the full 1k-100k grid. The CSVs must be byte-identical whether the
-# sweep points fan out over one worker or four.
+# the full 1k-100k grid. `--defend` additionally runs the VLAN fabric
+# with in-fabric DAI (id t6sd). All CSVs — undefended and defended —
+# must be byte-identical whether the sweep points fan out over one
+# worker or four.
 ARPSHIELD_T6S_HOSTS=300,900 ARPSHIELD_THREADS=1 \
-    ./target/release/reproduce t6s --out "$t6s_out/one" >/dev/null 2>&1
+    ./target/release/reproduce t6s --defend --out "$t6s_out/one" >/dev/null 2>&1
 ARPSHIELD_T6S_HOSTS=300,900 ARPSHIELD_THREADS=4 \
-    ./target/release/reproduce t6s --out "$t6s_out/four" >/dev/null 2>&1
+    ./target/release/reproduce t6s --defend --out "$t6s_out/four" >/dev/null 2>&1
 test -s "$t6s_out/one/t6s_0.csv"
 test -s "$t6s_out/one/t6s_1.csv"
+# Defended series: open/DAI throughput plus denial and work counters.
+for i in 0 1 2 3; do
+    test -s "$t6s_out/one/t6sd_$i.csv"
+done
+# DAI must actually deny the smoke's spoofed frames at every size.
+awk -F',' 'NR > 1 && $2 + 0 <= 0 { exit 1 }' "$t6s_out/one/t6sd_2.csv"
 diff -r "$t6s_out/one" "$t6s_out/four"
 rm -rf "$t6s_out"
 

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use arpshield::analysis::experiment::{
     f1_detection_latency, t2_susceptibility, t3_coverage, t4_false_positives, t5_resilience,
+    t6_scale_defended,
 };
 use arpshield::analysis::metrics::score_attack_run;
 use arpshield::analysis::scenario::{AttackScenario, ScenarioConfig};
@@ -90,4 +91,20 @@ fn resilience_sweep_is_thread_count_independent() {
         csv
     };
     assert_eq!(run("1"), run("4"), "T5R must not depend on the worker count");
+}
+
+/// The defended scale sweep reports only simulated counters (wall-clock
+/// diagnostics go to stderr), so its CSVs must render byte-identically
+/// at any worker count — the same contract the undefended T6S smoke in
+/// CI enforces with a directory diff.
+#[test]
+fn defended_scale_sweep_is_thread_count_independent() {
+    let run = |threads: &str| {
+        std::env::set_var("ARPSHIELD_THREADS", threads);
+        let csvs: Vec<String> =
+            t6_scale_defended(13, &[300, 900]).iter().map(|series| series.to_csv()).collect();
+        std::env::remove_var("ARPSHIELD_THREADS");
+        csvs
+    };
+    assert_eq!(run("1"), run("4"), "T6SD must not depend on the worker count");
 }

@@ -988,5 +988,133 @@ mod wire_emit_identity {
             let pooled = eth_frame(dst, src, ethertype, &payload[..]);
             prop_assert_eq!(pooled.as_slice(), &owned[..]);
         }
+
+        /// Streaming a byte string through `Checksum::add_bytes` in
+        /// arbitrary chunks — odd-length ones included — folds to the
+        /// same sum as one whole-buffer call. The incremental checksum
+        /// must carry a dangling odd byte *across* calls, not pad each
+        /// chunk independently.
+        #[test]
+        fn checksum_chunking_is_split_invariant(bytes in collection::vec(any::<u8>(), 0..300),
+                                                cuts in collection::vec(any::<u16>(), 0..12)) {
+            use arpshield::packet::Checksum;
+
+            let mut whole = Checksum::new();
+            whole.add_bytes(&bytes);
+
+            // Random split points, sorted and clamped into range; runs
+            // of equal cuts feed empty slices through the stream too.
+            let mut splits: Vec<usize> =
+                cuts.iter().map(|&c| c as usize % (bytes.len() + 1)).collect();
+            splits.sort_unstable();
+            let mut chunked = Checksum::new();
+            let mut start = 0;
+            for cut in splits {
+                chunked.add_bytes(&bytes[start..cut]);
+                start = cut;
+            }
+            chunked.add_bytes(&bytes[start..]);
+            prop_assert_eq!(chunked.finish(), whole.finish());
+        }
+    }
+}
+
+/// VLAN flood-domain isolation on the switch: a broadcast classified
+/// into one VLAN is delivered to every other member port of that VLAN
+/// and to *no* port outside it, for arbitrary access-port VID layouts.
+mod vlan_isolation {
+    use super::*;
+    use arpshield::netsim::{
+        Device, DeviceCtx, PortVlan, Simulator, Switch, SwitchConfig, VlanSet,
+    };
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    /// Sends one broadcast at start-up, records everything delivered.
+    struct Station {
+        emit: Option<Vec<u8>>,
+        got: Rc<RefCell<Vec<Vec<u8>>>>,
+    }
+
+    impl Device for Station {
+        fn name(&self) -> &str {
+            "station"
+        }
+        fn port_count(&self) -> usize {
+            1
+        }
+        fn on_start(&mut self, ctx: &mut DeviceCtx<'_>) {
+            if let Some(bytes) = self.emit.take() {
+                ctx.send(PortId(0), bytes);
+            }
+        }
+        fn on_frame(&mut self, _: &mut DeviceCtx<'_>, _: PortId, frame: &[u8]) {
+            self.got.borrow_mut().push(frame.to_vec());
+        }
+    }
+
+    properties! {
+        /// Ports are assigned to VID 10 or VID 20 by an arbitrary mask
+        /// (one trunk carrying only VID 10 rides along); a broadcast
+        /// from a VID-10 access port reaches exactly the other VID-10
+        /// members — never an access port on VID 20.
+        #[test]
+        fn broadcasts_never_cross_vlans(mask in any::<u8>(), src_idx in any::<u8>(),
+                                        payload in collection::vec(any::<u8>(), 0..200)) {
+            let ports = 8usize;
+            let vids: Vec<u16> =
+                (0..ports).map(|p| if mask & (1 << p) != 0 { 10 } else { 20 }).collect();
+            // The sender sits on some VID-10 access port; force one to exist.
+            let mut vids = vids;
+            vids[src_idx as usize % ports] = 10;
+            let src_port = src_idx as usize % ports;
+
+            let mut vlans: Vec<PortVlan> =
+                vids.iter().map(|&pvid| PortVlan::Access { pvid }).collect();
+            vlans.push(PortVlan::Trunk { allowed: VlanSet::Only(vec![10]) });
+            let (sw, _) = Switch::new(
+                "sw",
+                SwitchConfig { ports: ports + 1, vlans: Some(vlans), ..Default::default() },
+            );
+
+            let mut sim = Simulator::new(1);
+            let sw = sim.add_device(Box::new(sw));
+            let frame = EthernetFrame::new(
+                MacAddr::BROADCAST,
+                MacAddr::from_index(99),
+                EtherType::Other(0x1234),
+                payload,
+            )
+            .encode();
+            let mut sinks = Vec::new();
+            for p in 0..=ports {
+                let got = Rc::new(RefCell::new(Vec::new()));
+                let emit = (p == src_port).then(|| frame.clone());
+                let station = sim.add_device(Box::new(Station { emit, got: Rc::clone(&got) }));
+                sim.connect(station, PortId(0), sw, PortId(p as u16), Duration::from_micros(1))
+                    .unwrap();
+                sinks.push(got);
+            }
+            sim.run_until(SimTime::from_secs(1));
+
+            for (p, got) in sinks.iter().enumerate() {
+                let got = got.borrow();
+                if p == src_port {
+                    prop_assert!(got.is_empty(), "sender port {} heard its own flood", p);
+                } else if p == ports {
+                    // The trunk carries VID 10, so the copy arrives tagged.
+                    prop_assert_eq!(got.len(), 1);
+                    let parsed = EthernetFrame::parse(&got[0]).unwrap();
+                    prop_assert_eq!(parsed.vlan, Some(10));
+                } else if vids[p] == 10 {
+                    prop_assert_eq!(got.len(), 1);
+                    // Access egress is untagged: the sender's bytes verbatim.
+                    prop_assert_eq!(&got[0][..], &frame[..]);
+                } else {
+                    prop_assert!(got.is_empty(), "VID-20 access port {} leaked a frame", p);
+                }
+            }
+        }
     }
 }
