@@ -7,9 +7,11 @@
 //! reproduce t6s --defend      # also run the DAI-defended scale sweep (id t6sd)
 //! reproduce --trace t2        # additionally write results/trace/t2.{json,csv,hist.csv}
 //! reproduce --capture t2      # additionally write results/capture/t2.{pcapng,index.json}
+//! reproduce --profile t6s     # additionally write results/profile/t6s.{json,csv}
 //! reproduce validate-trace P… # check trace manifests (files and/or directories) and exit
 //! reproduce inspect FILE      # decode a .pcapng capture into a forensic timeline
 //! reproduce ingest FILE…      # stream captures through the schemes as online detectors
+//! reproduce profile-report F  # render a profile JSON as a self-time table
 //! ```
 //!
 //! `--trace` installs a per-experiment trace collector around each
@@ -21,6 +23,13 @@
 //! pcapng (openable in Wireshark) plus a JSON index tying scheme
 //! verdicts to the frames that triggered them. The experiment CSVs
 //! themselves are byte-identical with and without either flag.
+//!
+//! `--profile` wraps each experiment in the span-scoped wall-clock
+//! profiler from `crates/trace`: hierarchical self/total times and
+//! call counts for the simulator, switch, scheme, and pool hot paths,
+//! plus sampled runtime gauges. Wall-clock data is quarantined to the
+//! `<out>/profile/` sidecars and stderr — the experiment CSVs stay
+//! byte-identical with and without `--profile` at any thread count.
 //!
 //! `inspect` joins a capture with its `.index.json` sidecar into a
 //! per-run timeline interleaving frames, cache/CAM mutations, and
@@ -51,7 +60,7 @@ use arpshield_netsim::SimTime;
 use arpshield_packet::{ArpOp, ArpPacket, EtherType, EthernetFrame};
 use arpshield_schemes::{Detector, SchemeKind};
 use arpshield_trace::pcapng::PcapngStream;
-use arpshield_trace::{TraceCollector, Tracer};
+use arpshield_trace::{profile, Heartbeat, ProfileCollector, TraceCollector, Tracer};
 
 const SEED: u64 = 20070625; // the venue's year, as a nod
 
@@ -60,13 +69,43 @@ struct Output {
     trace: bool,
     /// Flight-recorder ring capacity; `Some` arms `--capture`.
     capture: Option<usize>,
+    profile: bool,
 }
 
 impl Output {
+    /// Runs one experiment under the requested telemetry: `--trace`/
+    /// `--capture` manifests land in `<out>/trace/` and `<out>/capture/`,
+    /// `--profile` span/gauge reports in `<out>/profile/<id>.{json,csv}`.
+    fn traced<T>(&self, id: &str, f: impl FnOnce() -> T) -> T {
+        if !self.profile {
+            return self.trace_collected(id, f);
+        }
+        // The profiler wraps the trace collector so worker threads see
+        // both. No root span opens here: the per-job spans inside each
+        // experiment are the tree roots, so profile paths are identical
+        // whether jobs run inline (ARPSHIELD_THREADS=1) or on workers.
+        let collector = Arc::new(arpshield_trace::ProfileCollector::new());
+        let started = Instant::now();
+        let result = {
+            let _guard = arpshield_trace::profile::install(collector.clone());
+            self.trace_collected(id, f)
+        };
+        let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let report = collector.report(id, wall_ns);
+        self.write_artifacts(
+            "profile",
+            &[
+                (format!("{id}.json"), report.to_json().into_bytes()),
+                (format!("{id}.csv"), report.to_csv().into_bytes()),
+            ],
+        );
+        result
+    }
+
     /// Runs one experiment, optionally under a fresh trace collector
     /// whose manifest lands in `<out>/trace/<id>.{json,csv,hist.csv}`
     /// and whose capture lands in `<out>/capture/<id>.{pcapng,index.json}`.
-    fn traced<T>(&self, id: &str, f: impl FnOnce() -> T) -> T {
+    fn trace_collected<T>(&self, id: &str, f: impl FnOnce() -> T) -> T {
         if !self.trace && self.capture.is_none() {
             return f();
         }
@@ -233,6 +272,104 @@ fn run_validate_trace(paths: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+// ---------------------------------------------------------------------
+// `profile-report`: render a profile JSON as a self-time table.
+// ---------------------------------------------------------------------
+
+/// Loads an `arpshield-profile/1` report and prints its spans sorted by
+/// self time (where the wall clock actually went), then the sampled
+/// runtime gauges. Returns a human-readable error for malformed input.
+fn run_profile_report(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc =
+        arpshield_testkit::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{path}: missing string field `schema`"))?;
+    if schema != arpshield_trace::PROFILE_SCHEMA {
+        return Err(format!(
+            "{path}: unknown schema {schema:?} (expected {:?})",
+            arpshield_trace::PROFILE_SCHEMA
+        ));
+    }
+    let experiment = doc.get("experiment").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+    let wall_ns = doc.get("wall_ns").and_then(|v| v.as_num()).unwrap_or(0.0);
+    let self_total_ns = doc.get("self_total_ns").and_then(|v| v.as_num()).unwrap_or(0.0);
+    let spans = doc
+        .get("spans")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("{path}: missing array field `spans`"))?;
+
+    struct Row {
+        path: String,
+        count: u64,
+        total_ns: f64,
+        self_ns: f64,
+    }
+    let mut rows = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        rows.push(Row {
+            path: span
+                .get("path")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{path}: span {i}: missing string field `path`"))?
+                .to_string(),
+            count: span.get("count").and_then(|v| v.as_num()).unwrap_or(0.0) as u64,
+            total_ns: span.get("total_ns").and_then(|v| v.as_num()).unwrap_or(0.0),
+            self_ns: span.get("self_ns").and_then(|v| v.as_num()).unwrap_or(0.0),
+        });
+    }
+    rows.sort_by(|a, b| b.self_ns.total_cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+
+    let wall_s = wall_ns / 1e9;
+    let coverage = if wall_ns > 0.0 { 100.0 * self_total_ns / wall_ns } else { 0.0 };
+    println!("profile: {experiment} ({schema})");
+    println!(
+        "wall {wall_s:.3}s; {} span path(s) accounting {:.3}s self time ({coverage:.1}% coverage)\n",
+        rows.len(),
+        self_total_ns / 1e9,
+    );
+    let path_width = rows.iter().map(|r| r.path.len()).chain(["span".len()].into_iter()).max();
+    let path_width = path_width.unwrap_or(4);
+    println!(
+        "{:<path_width$}  {:>12}  {:>12}  {:>12}  {:>7}",
+        "span", "count", "total_ms", "self_ms", "self_%"
+    );
+    for row in &rows {
+        let pct = if wall_ns > 0.0 { 100.0 * row.self_ns / wall_ns } else { 0.0 };
+        println!(
+            "{:<path_width$}  {:>12}  {:>12.3}  {:>12.3}  {:>6.1}%",
+            row.path,
+            row.count,
+            row.total_ns / 1e6,
+            row.self_ns / 1e6,
+            pct,
+        );
+    }
+    let gauges = doc.get("gauges").and_then(|v| v.as_arr()).unwrap_or_default();
+    if !gauges.is_empty() {
+        println!();
+        println!(
+            "{:<path_width$}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "gauge", "samples", "min", "max", "mean"
+        );
+        for gauge in gauges {
+            let name = gauge.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let samples = gauge.get("samples").and_then(|v| v.as_num()).unwrap_or(0.0);
+            let min = gauge.get("min").and_then(|v| v.as_num()).unwrap_or(0.0);
+            let max = gauge.get("max").and_then(|v| v.as_num()).unwrap_or(0.0);
+            let sum = gauge.get("sum").and_then(|v| v.as_num()).unwrap_or(0.0);
+            let mean = if samples > 0.0 { sum / samples } else { 0.0 };
+            println!(
+                "{name:<path_width$}  {:>12}  {:>12}  {:>12}  {mean:>12.1}",
+                samples as u64, min as u64, max as u64,
+            );
+        }
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -532,7 +669,7 @@ fn run_inspect(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------
 
 const INGEST_USAGE: &str = "usage: reproduce ingest FILE... [--stdin] [--scheme K]... \
-     [--vantage S] [--out DIR] [--capture]";
+     [--vantage S] [--out DIR] [--capture] [--profile]";
 
 struct IngestOptions {
     sources: Vec<String>,
@@ -541,6 +678,7 @@ struct IngestOptions {
     vantage: Option<String>,
     out_dir: PathBuf,
     capture: bool,
+    profile: bool,
 }
 
 fn parse_ingest_args(args: &[String]) -> Result<IngestOptions, String> {
@@ -551,6 +689,7 @@ fn parse_ingest_args(args: &[String]) -> Result<IngestOptions, String> {
         vantage: None,
         out_dir: PathBuf::from("results"),
         capture: false,
+        profile: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -559,6 +698,7 @@ fn parse_ingest_args(args: &[String]) -> Result<IngestOptions, String> {
         match arg.as_str() {
             "--stdin" => opts.stdin = true,
             "--capture" => opts.capture = true,
+            "--profile" => opts.profile = true,
             "--vantage" => opts.vantage = Some(flag_value("--vantage")?),
             "--out" => opts.out_dir = PathBuf::from(flag_value("--out")?),
             "--scheme" => {
@@ -605,15 +745,38 @@ fn ingest_source(
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| name.to_string());
     let started = Instant::now();
+    let mut hb = Heartbeat::new(format!("ingest {stem}"));
     let mut stream = PcapngStream::new(input);
     let mut detectors: HashMap<(usize, usize), Detector> = HashMap::new();
     let mut filtered = 0u64;
+    let mut pulled = 0u64;
     // Reused scratch so the per-frame copy out of the stream's block
     // buffer never allocates in steady state.
     let mut frame = Vec::new();
     let mut comment = String::new();
     loop {
-        let (interface, ts_ns) = match stream.next_packet() {
+        // The interval check is decimated to every HEARTBEAT_EVERY
+        // packets so a million-packet stream never pays a clock read
+        // per frame; a slow trickle still heartbeats at each batch.
+        const HEARTBEAT_EVERY: u64 = 4096;
+        if pulled % HEARTBEAT_EVERY == 0 && pulled > 0 {
+            let stats = stream.stats();
+            hb.tick(|hb| {
+                let wall_s = hb.elapsed().as_secs_f64().max(1e-9);
+                format!(
+                    "packets={} bytes={} packets_per_wall_s={:.0} mb_per_wall_s={:.1}",
+                    stats.packets,
+                    stats.bytes,
+                    stats.packets as f64 / wall_s,
+                    stats.bytes as f64 / wall_s / 1e6,
+                )
+            });
+        }
+        let next = {
+            let _s = profile::span("ingest.read");
+            stream.next_packet()
+        };
+        let (interface, ts_ns) = match next {
             Err(e) => return Err(format!("{name}: {e}")),
             Ok(None) => break,
             Ok(Some(pkt)) => {
@@ -624,6 +787,7 @@ fn ingest_source(
                 (pkt.interface, pkt.ts_ns)
             }
         };
+        pulled += 1;
         let (_, _, src, dst, _) = parse_frame_comment(&comment);
         if let Some(vantage) = &opts.vantage {
             // Foreign captures have no arpshield comments; everything
@@ -716,6 +880,12 @@ fn ingest_source(
         stats.packets as f64 / elapsed,
         stats.bytes as f64 / elapsed / 1e6,
     );
+    hb.done(&format!(
+        "packets={} bytes={} packets_per_wall_s={:.0}",
+        stats.packets,
+        stats.bytes,
+        stats.packets as f64 / elapsed,
+    ));
     // Dropping the detectors flushes their run sections into the
     // installed collector, making them visible to `manifest`.
     drop(runs);
@@ -738,24 +908,44 @@ fn run_ingest(args: &[String]) -> Result<(), String> {
         "arpshield capture ingest: scheme(s) [{}] as online detector(s)\n",
         opts.schemes.iter().map(|k| k.label()).collect::<Vec<_>>().join(", ")
     );
+    let profiler = opts.profile.then(|| Arc::new(ProfileCollector::new()));
+    let profile_started = Instant::now();
     let (mut packets, mut filtered) = (0u64, 0u64);
-    for source in &opts.sources {
-        let file = fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
-        let mut reader = BufReader::new(file);
-        let (p, f) = ingest_source(source, &mut reader, &opts)?;
-        packets += p;
-        filtered += f;
-    }
-    if opts.stdin {
-        let stdin = std::io::stdin();
-        let mut reader = stdin.lock();
-        let (p, f) = ingest_source("stdin", &mut reader, &opts)?;
-        packets += p;
-        filtered += f;
+    {
+        let _profile_guard = profiler.clone().map(profile::install);
+        for source in &opts.sources {
+            let file = fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+            let mut reader = BufReader::new(file);
+            let (p, f) = ingest_source(source, &mut reader, &opts)?;
+            packets += p;
+            filtered += f;
+        }
+        if opts.stdin {
+            let stdin = std::io::stdin();
+            let mut reader = stdin.lock();
+            let (p, f) = ingest_source("stdin", &mut reader, &opts)?;
+            packets += p;
+            filtered += f;
+        }
     }
     let manifest = collector.manifest("ingest");
-    let out =
-        Output { out_dir: opts.out_dir.clone(), trace: true, capture: opts.capture.then_some(0) };
+    let out = Output {
+        out_dir: opts.out_dir.clone(),
+        trace: true,
+        capture: opts.capture.then_some(0),
+        profile: opts.profile,
+    };
+    if let Some(profiler) = &profiler {
+        let wall_ns = profile_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let report = profiler.report("ingest", wall_ns);
+        out.write_artifacts(
+            "profile",
+            &[
+                ("ingest.json".to_string(), report.to_json().into_bytes()),
+                ("ingest.csv".to_string(), report.to_csv().into_bytes()),
+            ],
+        );
+    }
     out.write_artifacts(
         "trace",
         &[
@@ -785,21 +975,13 @@ fn run_ingest(args: &[String]) -> Result<(), String> {
 /// (comma-separated) overrides the published 1k–100k grid so CI can
 /// smoke the experiment at small sizes.
 fn t6s_sizes() -> Vec<usize> {
-    match std::env::var("ARPSHIELD_T6S_HOSTS") {
-        Ok(spec) => {
-            let sizes: Vec<usize> =
-                spec.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n > 0).collect();
-            if sizes.is_empty() {
-                eprintln!(
-                    "warning: ARPSHIELD_T6S_HOSTS={spec:?} has no valid sizes; using default"
-                );
-                T6S_SIZES.to_vec()
-            } else {
-                sizes
-            }
-        }
-        Err(_) => T6S_SIZES.to_vec(),
-    }
+    let (sizes, warning) = arpshield_trace::env_knob::knob("ARPSHIELD_T6S_HOSTS").parse_list_or(
+        T6S_SIZES.to_vec(),
+        "a comma-separated list of positive host counts",
+        |n: &usize| *n >= 1,
+    );
+    arpshield_trace::env_knob::report(warning);
+    sizes
 }
 
 fn main() {
@@ -833,6 +1015,20 @@ fn main() {
         }
     }
 
+    if args.first().map(String::as_str) == Some("profile-report") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: reproduce profile-report FILE");
+            std::process::exit(2);
+        };
+        match run_profile_report(path) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let mut out_dir = PathBuf::from("results");
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         args.remove(pos);
@@ -859,8 +1055,13 @@ fn main() {
         }
         capture = Some(capacity);
     }
+    let mut profile_flag = false;
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        args.remove(pos);
+        profile_flag = true;
+    }
     fs::create_dir_all(&out_dir).ok();
-    let out = Output { out_dir, trace, capture };
+    let out = Output { out_dir, trace, capture, profile: profile_flag };
     let selected: Vec<String> = args.iter().map(|a| a.to_lowercase()).collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 

@@ -7,16 +7,24 @@
 //! from [`crate::scenario::scale`] at increasing station counts and
 //! reports deterministic wire-level rates.
 //!
-//! Wall-clock throughput is printed to **stderr** only: elapsed time
-//! varies run to run, and the CSVs on stdout must stay byte-identical
-//! across reruns and thread counts (the CI smoke diffs
-//! `ARPSHIELD_THREADS=1` against `4`).
+//! Wall-clock telemetry goes to **stderr** only, through the shared
+//! [`Heartbeat`] reporter: elapsed time varies run to run, and the CSVs
+//! on stdout must stay byte-identical across reruns and thread counts
+//! (the CI smoke diffs `ARPSHIELD_THREADS=1` against `4`).
+//! `ARPSHIELD_QUIET=1` silences the reporter entirely. Each sweep
+//! point advances the simulator in fixed sim-time chunks so the
+//! reporter gets periodic wall-clock sampling opportunities — the chunk
+//! boundaries are deterministic simulated instants, so chunking cannot
+//! perturb event order or any exported counter.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use arpshield_netsim::SimTime;
+use arpshield_trace::{profile, Heartbeat};
 
 use crate::parallel::run_indexed;
 use crate::report::Series;
-use crate::scenario::scale::{build, ScaleConfig};
+use crate::scenario::scale::{build, ScaleConfig, ScaleLan};
 
 /// The default host counts the published sweep covers.
 pub const T6S_SIZES: &[usize] = &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000];
@@ -24,6 +32,57 @@ pub const T6S_SIZES: &[usize] = &[1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 1
 /// Spoofing stations in the defended sweep — fixed like the churner
 /// set, so the attack rate stays constant as the fabric grows.
 const T6SD_SPOOFERS: usize = 8;
+
+/// Sim-time chunks per sweep point: each boundary is a heartbeat and
+/// gauge sampling opportunity. 64 keeps per-chunk overhead invisible
+/// while giving a multi-second point plenty of progress lines.
+const RUN_CHUNKS: u32 = 64;
+
+/// Drives `lan` to `duration` in deterministic sim-time chunks,
+/// heartbeating progress and sampling the runtime gauges at every
+/// boundary. Returns the reporter so the caller can emit its `done`
+/// line with experiment-specific detail.
+fn run_measured(lan: &mut ScaleLan, duration: Duration, label: String) -> Heartbeat {
+    let mut hb = Heartbeat::new(label);
+    let _run = profile::span("sim.run");
+    let end = SimTime::ZERO + duration;
+    let chunk = (duration / RUN_CHUNKS).max(Duration::from_nanos(1));
+    let mut next = SimTime::ZERO;
+    while next < end {
+        next = (next + chunk).min(end);
+        {
+            let _s = profile::span("sim.run_until");
+            lan.sim.run_until(next);
+        }
+        profile::gauge("wheel.occupancy", lan.sim.queue_depth() as u64);
+        profile::gauge("wheel.fallback_depth", lan.sim.queue_fallback_depth() as u64);
+        let pool = arpshield_netsim::pool_stats();
+        profile::gauge("pool.hit_rate_pct", (pool.hit_rate() * 100.0) as u64);
+        // The in-switch sampling point rides the CAM aging sweep, whose
+        // interval can exceed a short sweep's whole duration — sample
+        // the root CAM here too so every t6s profile carries it.
+        profile::gauge("switch.cam.size", lan.root.cam.borrow().occupancy() as u64);
+        let stats = lan.sim.wire_stats();
+        hb.tick(|hb| {
+            let wall_s = hb.elapsed().as_secs_f64().max(1e-9);
+            let fraction = next.as_nanos() as f64 / end.as_nanos().max(1) as f64;
+            let eta = hb.eta_secs(fraction).unwrap_or(0.0);
+            format!(
+                "sim_ms={}/{} frames={} frames_per_wall_s={:.0} events_per_wall_s={:.0} \
+                 wheel={} fallback={} pool_hit_pct={:.0} eta_s={eta:.1}",
+                next.as_nanos() / 1_000_000,
+                end.as_nanos() / 1_000_000,
+                stats.frames,
+                stats.frames as f64 / wall_s,
+                (stats.frames + stats.timers) as f64 / wall_s,
+                lan.sim.queue_depth(),
+                lan.sim.queue_fallback_depth(),
+                pool.hit_rate() * 100.0,
+            )
+        });
+    }
+    hb
+}
 
 /// T6S: wire throughput and per-host traffic versus station count.
 ///
@@ -36,11 +95,23 @@ pub fn t6_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
         .iter()
         .map(|&n| {
             move || {
+                // The job root span makes sum(self over the whole tree)
+                // telescope to this job's wall time, which is what the
+                // profile coverage gate in ci.sh checks.
+                let _job = profile::span("t6s.job");
                 let config = ScaleConfig::new(seed, n);
-                let mut lan = build(config);
+                let mut lan = {
+                    let _s = profile::span("t6s.build");
+                    build(config)
+                };
                 let started = Instant::now();
-                lan.sim.run_until(arpshield_netsim::SimTime::ZERO + config.duration);
+                let hb = run_measured(&mut lan, config.duration, format!("t6s hosts={n}"));
                 let stats = lan.sim.wire_stats();
+                hb.done(&format!(
+                    "frames={} frames_per_wall_s={:.0}",
+                    stats.frames,
+                    stats.frames as f64 / hb.elapsed().as_secs_f64().max(1e-9),
+                ));
                 (stats.frames, stats.bytes, config.duration.as_secs_f64(), started.elapsed())
             }
         })
@@ -50,15 +121,9 @@ pub fn t6_scale(seed: u64, sizes: &[usize]) -> Vec<Series> {
         Series::new("T6S: frames per simulated second vs hosts", "hosts", "frames_per_sim_sec");
     let mut bytes_per_host =
         Series::new("T6S: wire bytes per host vs hosts", "hosts", "bytes_per_host");
-    for (&n, (frames, bytes, sim_secs, elapsed)) in sizes.iter().zip(run_indexed(jobs)) {
+    for (&n, (frames, bytes, sim_secs, _elapsed)) in sizes.iter().zip(run_indexed(jobs)) {
         frames_rate.push(n as f64, frames as f64 / sim_secs);
         bytes_per_host.push(n as f64, bytes as f64 / n as f64);
-        // Wall-clock rate is machine-dependent diagnostics, not data.
-        eprintln!(
-            "t6s: {n} hosts, {frames} frames in {:.2}s wall ({:.0} frames/s wall)",
-            elapsed.as_secs_f64(),
-            frames as f64 / elapsed.as_secs_f64().max(1e-9),
-        );
     }
     vec![frames_rate, bytes_per_host]
 }
@@ -79,19 +144,28 @@ pub fn t6_scale_defended(seed: u64, sizes: &[usize]) -> Vec<Series> {
         .iter()
         .map(|&n| {
             move || {
-                let run = |config: ScaleConfig| {
-                    let mut lan = build(config);
-                    let started = Instant::now();
-                    lan.sim.run_until(arpshield_netsim::SimTime::ZERO + config.duration);
+                let _job = profile::span("t6sd.job");
+                let run = |config: ScaleConfig, variant: &str| {
+                    let mut lan = {
+                        let _s = profile::span("t6sd.build");
+                        build(config)
+                    };
+                    let hb = run_measured(
+                        &mut lan,
+                        config.duration,
+                        format!("t6sd[{variant}] hosts={n}"),
+                    );
                     let denied = lan.inspector_drops();
                     let work = lan.alerts.as_ref().map_or(0, |log| log.work_of("dai"));
-                    (lan.sim.wire_stats().frames, denied, work, started.elapsed())
+                    let frames = lan.sim.wire_stats().frames;
+                    hb.done(&format!("frames={frames} denied={denied} work_units={work}"));
+                    (frames, denied, work)
                 };
                 let base = ScaleConfig::new(seed, n).with_spoofers(T6SD_SPOOFERS);
-                let (open_frames, _, _, open_wall) = run(base.with_vlan_fabric());
-                let (dai_frames, denied, work, dai_wall) = run(base.with_dai());
+                let (open_frames, _, _) = run(base.with_vlan_fabric(), "open");
+                let (dai_frames, denied, work) = run(base.with_dai(), "dai");
                 let sim_secs = base.duration.as_secs_f64();
-                (open_frames, dai_frames, denied, work, sim_secs, open_wall, dai_wall)
+                (open_frames, dai_frames, denied, work, sim_secs)
             }
         })
         .collect();
@@ -108,20 +182,13 @@ pub fn t6_scale_defended(seed: u64, sizes: &[usize]) -> Vec<Series> {
     );
     let mut dai_denied = Series::new("T6SD: DAI denied frames vs hosts", "hosts", "denied_frames");
     let mut dai_work = Series::new("T6SD: DAI work units vs hosts", "hosts", "dai_work_units");
-    for (&n, (open_frames, dai_frames, denied, work, sim_secs, open_wall, dai_wall)) in
+    for (&n, (open_frames, dai_frames, denied, work, sim_secs)) in
         sizes.iter().zip(run_indexed(jobs))
     {
         open_rate.push(n as f64, open_frames as f64 / sim_secs);
         dai_rate.push(n as f64, dai_frames as f64 / sim_secs);
         dai_denied.push(n as f64, denied as f64);
         dai_work.push(n as f64, work as f64);
-        // Wall-clock rate is machine-dependent diagnostics, not data.
-        eprintln!(
-            "t6sd: {n} hosts, open {open_frames} frames in {:.2}s wall, \
-             dai {dai_frames} frames in {:.2}s wall ({denied} denied, {work} work units)",
-            open_wall.as_secs_f64(),
-            dai_wall.as_secs_f64(),
-        );
     }
     vec![open_rate, dai_rate, dai_denied, dai_work]
 }

@@ -28,19 +28,10 @@ use std::sync::Mutex;
 /// collector (it lands in the run manifest's `warnings`) when one is
 /// active, and on stderr otherwise.
 pub fn thread_count() -> usize {
-    if let Ok(value) = std::env::var("ARPSHIELD_THREADS") {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-        let warning = format!("ignoring invalid ARPSHIELD_THREADS={value:?}");
-        match arpshield_trace::current() {
-            Some(collector) => collector.warn(warning),
-            None => eprintln!("warning: {warning}"),
-        }
-    }
-    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    let (count, warning) = arpshield_trace::env_knob::knob("ARPSHIELD_THREADS")
+        .parse_opt("a positive integer", |n: &usize| *n >= 1);
+    arpshield_trace::env_knob::report(warning);
+    count.unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
 }
 
 /// Runs independent jobs, possibly concurrently, and returns their
@@ -69,11 +60,17 @@ where
     if threads <= 1 {
         return jobs.into_iter().map(|job| job()).collect();
     }
-    // Tracing is thread-local: capture the submitting thread's collector
-    // and re-install it inside every worker, so runs traced under a
-    // `reproduce --trace` experiment keep flushing to that experiment's
-    // manifest no matter which worker executes them.
+    // Tracing and profiling are thread-local: capture the submitting
+    // thread's collectors and re-install them inside every worker, so
+    // runs traced under a `reproduce --trace` experiment keep flushing
+    // to that experiment's manifest — and spans opened inside jobs land
+    // in that experiment's profile — no matter which worker executes
+    // them. Each worker's profile tree flushes into the shared
+    // collector when its guard drops at scope exit; the merge is
+    // associative and commutative, so the merged profile's shape is
+    // independent of scheduling.
     let collector = arpshield_trace::current();
+    let profiler = arpshield_trace::profile::current();
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let results: Vec<Mutex<Option<std::thread::Result<R>>>> =
         slots.iter().map(|_| Mutex::new(None)).collect();
@@ -82,6 +79,7 @@ where
         for _ in 0..threads {
             scope.spawn(|| {
                 let _guard = collector.clone().map(arpshield_trace::install);
+                let _profile_guard = profiler.clone().map(arpshield_trace::profile::install);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= slots.len() {

@@ -4,6 +4,7 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 use arpshield_packet::{EtherType, EthernetEmit, MacAddr, WireEmit};
+use arpshield_trace::profile;
 
 use crate::pool::{self, FrameBuf};
 
@@ -46,6 +47,11 @@ impl Frame {
     /// pre-zeroing doubles as Ethernet min-payload padding and guarantees
     /// a recycled buffer never exposes its previous tenant's bytes.
     pub fn build(len: usize, f: impl FnOnce(&mut [u8]) -> usize) -> Frame {
+        // Every TX site funnels through here, so this one span covers
+        // packet encode/emit for the whole workspace (the nested
+        // pool.acquire span separates buffer acquisition from the
+        // in-place encoding itself).
+        let _s = profile::span("packet.encode");
         Frame(Some(pool::build(len, f)))
     }
 

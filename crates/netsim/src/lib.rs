@@ -58,6 +58,7 @@ pub use error::NetsimError;
 pub use frame::{eth_frame, Frame};
 pub use hub::Hub;
 pub use impair::{FlapSchedule, LinkProfile};
+pub use pool::{pool_stats, PoolStats};
 pub use rng::SimRng;
 pub use sim::{Simulator, WireStats};
 pub use standalone::StandaloneDriver;

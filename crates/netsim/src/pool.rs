@@ -19,8 +19,10 @@
 //! byte-identity property tests use to prove a buffer really was
 //! reused — and that reuse never leaks stale bytes into a new frame.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
+
+use arpshield_trace::profile;
 
 /// A reference-counted frame payload plus its recycle generation.
 #[derive(Debug)]
@@ -37,17 +39,56 @@ const MAX_FREE: usize = 4096;
 
 thread_local! {
     static FREE: RefCell<Vec<Arc<FrameBuf>>> = const { RefCell::new(Vec::new()) };
+    static HITS: Cell<u64> = const { Cell::new(0) };
+    static MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's pool effectiveness counters: acquisitions served from
+/// the free list (`recycled`) vs fresh allocations (`fresh`). Always
+/// on — two thread-local increments per acquisition — and per-thread,
+/// matching the free list itself. The profiler samples these into its
+/// `pool.*` gauges during scale sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions that reused a recycled buffer.
+    pub recycled: u64,
+    /// Acquisitions that hit the allocator.
+    pub fresh: u64,
+}
+
+impl PoolStats {
+    /// Recycled fraction of all acquisitions, 0.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.recycled + self.fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.recycled as f64 / total as f64
+        }
+    }
+}
+
+/// Reads this thread's [`PoolStats`] counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        recycled: HITS.try_with(Cell::get).unwrap_or(0),
+        fresh: MISSES.try_with(Cell::get).unwrap_or(0),
+    }
 }
 
 /// Pops a unique recycled buffer, or `None` when the list is empty or
-/// unreachable (thread teardown).
+/// unreachable (thread teardown), counting the hit or miss either way.
 fn pop_free() -> Option<Arc<FrameBuf>> {
-    FREE.try_with(|free| free.borrow_mut().pop()).ok().flatten()
+    let popped = FREE.try_with(|free| free.borrow_mut().pop()).ok().flatten();
+    let counter = if popped.is_some() { &HITS } else { &MISSES };
+    let _ = counter.try_with(|c| c.set(c.get() + 1));
+    popped
 }
 
 /// Builds a buffer holding a copy of `src`, reusing a recycled buffer
 /// (bytes and control block) when one is available.
 pub(crate) fn alloc(src: &[u8]) -> Arc<FrameBuf> {
+    let _s = profile::span("pool.acquire");
     match pop_free() {
         Some(mut arc) => {
             match Arc::get_mut(&mut arc) {
@@ -70,6 +111,7 @@ pub(crate) fn alloc(src: &[u8]) -> Arc<FrameBuf> {
 /// Like [`alloc`], but takes ownership: with no recycled buffer on
 /// hand the vector is adopted wholesale instead of copied.
 pub(crate) fn adopt(src: Vec<u8>) -> Arc<FrameBuf> {
+    let _s = profile::span("pool.acquire");
     match pop_free() {
         Some(mut arc) => match Arc::get_mut(&mut arc) {
             Some(buf) => {
@@ -92,17 +134,22 @@ pub(crate) fn adopt(src: Vec<u8>) -> Arc<FrameBuf> {
 /// pre-zeroing both guarantees stale bytes from the previous tenant
 /// never show through and provides Ethernet's min-payload padding.
 pub(crate) fn build(len: usize, f: impl FnOnce(&mut [u8]) -> usize) -> Arc<FrameBuf> {
-    let mut arc = match pop_free() {
-        Some(mut arc) => match Arc::get_mut(&mut arc) {
-            Some(buf) => {
-                buf.bytes.clear();
-                buf.bytes.resize(len, 0);
-                buf.epoch += 1;
-                arc
-            }
+    let mut arc = {
+        // The acquire span covers only buffer acquisition; the caller's
+        // encode closure below is attributed to the caller's own span.
+        let _s = profile::span("pool.acquire");
+        match pop_free() {
+            Some(mut arc) => match Arc::get_mut(&mut arc) {
+                Some(buf) => {
+                    buf.bytes.clear();
+                    buf.bytes.resize(len, 0);
+                    buf.epoch += 1;
+                    arc
+                }
+                None => Arc::new(FrameBuf { bytes: vec![0; len], epoch: 0 }),
+            },
             None => Arc::new(FrameBuf { bytes: vec![0; len], epoch: 0 }),
-        },
-        None => Arc::new(FrameBuf { bytes: vec![0; len], epoch: 0 }),
+        }
     };
     let buf = Arc::get_mut(&mut arc).expect("freshly built buffer has a unique handle");
     let written = f(&mut buf.bytes);
@@ -119,6 +166,7 @@ pub(crate) fn recycle(arc: Arc<FrameBuf>) {
     if Arc::strong_count(&arc) != 1 {
         return;
     }
+    let _s = profile::span("pool.recycle");
     let _ = FREE.try_with(|free| {
         let mut free = free.borrow_mut();
         if free.len() < MAX_FREE {

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use arpshield_trace::profile;
 use arpshield_trace::{FrameKind, Tracer};
 
 use crate::device::{Action, Device, DeviceCtx, DeviceId, PortId};
@@ -257,6 +258,18 @@ impl Simulator {
         self.stats
     }
 
+    /// Pending events across the timing wheel, ready batch, and
+    /// calendar fallback — the `wheel.occupancy` gauge source.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Pending events parked in the wheel's calendar fallback — the
+    /// `wheel.fallback_depth` gauge source.
+    pub fn queue_fallback_depth(&self) -> usize {
+        self.queue.fallback_len()
+    }
+
     /// Immutable access to a device, for post-run inspection.
     pub fn device(&self, id: DeviceId) -> Option<&dyn Device> {
         self.devices.get(id.0).map(|d| d.as_ref())
@@ -410,6 +423,7 @@ impl Simulator {
         self.now = at;
         match kind {
             EventKind::Deliver { dst, port, bytes, src, src_port, sent_at, dup } => {
+                let _s = profile::span("sim.deliver");
                 self.stats.frames += 1;
                 self.stats.bytes += bytes.len() as u64;
                 if let Some(trace) = &mut self.trace {
@@ -446,6 +460,7 @@ impl Simulator {
                 self.scratch = actions;
             }
             EventKind::Timer { dst, token } => {
+                let _s = profile::span("sim.timer");
                 self.stats.timers += 1;
                 let mut actions = std::mem::take(&mut self.scratch);
                 {

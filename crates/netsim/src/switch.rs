@@ -11,6 +11,7 @@ use arpshield_packet::{
     EthernetView, EthernetViewMut, MacAddr, ETHERNET_HEADER_LEN, ETHERNET_MIN_PAYLOAD,
     ETHERNET_VLAN_TAG_LEN,
 };
+use arpshield_trace::profile;
 use arpshield_trace::Tracer;
 
 use crate::device::{Device, DeviceCtx, PortId};
@@ -529,6 +530,10 @@ impl Device for Switch {
             if evicted > 0 {
                 self.tracer.count("switch.cam.aged_out", evicted as u64);
             }
+            // The aging sweep doubles as the CAM-size sampling point:
+            // it already fires periodically on every switch, so the
+            // gauge costs nothing new on the frame path.
+            profile::gauge("switch.cam.size", self.cam.borrow().occupancy() as u64);
             let interval = (self.config.cam_aging / 4).max(Duration::from_millis(100));
             ctx.schedule_in(interval, SWEEP_TOKEN);
         }
@@ -555,7 +560,11 @@ impl Device for Switch {
         // VLAN ingress classification, ahead of everything else: a frame
         // outside the port's configured domain never reaches the
         // inspector, the CAM, or a flood.
-        let (vid, ingress_tagged) = match self.classify(port, &eth) {
+        let classified = {
+            let _s = profile::span("switch.classify");
+            self.classify(port, &eth)
+        };
+        let (vid, ingress_tagged) = match classified {
             Classified::Member { vid, tagged } => (vid, tagged),
             Classified::Drop => {
                 self.stats.borrow_mut().dropped_vlan += 1;
@@ -572,6 +581,7 @@ impl Device for Switch {
 
         // Ingress inspection (DAI etc.), scoped to the classified VLAN.
         if let Some(inspector) = &mut self.inspector {
+            let _s = profile::span("switch.inspect");
             if let InspectVerdict::Deny { reason } = inspector.inspect(ctx.now(), port, vid, &eth) {
                 self.tracer.count("switch.drop.inspector", 1);
                 self.tracer.event(ctx.now().as_nanos(), "switch.drop.inspector", || {
@@ -667,6 +677,7 @@ impl Device for Switch {
         // Forwarding decision first, so the mirror copy can be skipped
         // when the frame's own egress *is* the mirror port (it would
         // otherwise arrive twice there).
+        let _s = profile::span("switch.forward");
         let unicast_out = if eth.dst().is_unicast() {
             self.cam.borrow().lookup_vlan(vid, eth.dst())
         } else {

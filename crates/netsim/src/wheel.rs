@@ -47,6 +47,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use arpshield_trace::profile;
+
 use crate::time::SimTime;
 
 /// log2 of the slot count per level.
@@ -163,6 +165,14 @@ impl<T> TimingWheel<T> {
         self.len() == 0
     }
 
+    /// Entries currently parked in the calendar fallback — the
+    /// beyond-horizon overflow whose depth the profiler samples as the
+    /// `wheel.fallback_depth` gauge (a deep fallback means the workload
+    /// is outrunning the wheel's O(1) near-future fast path).
+    pub fn fallback_len(&self) -> usize {
+        self.far.len()
+    }
+
     /// Schedules `item` at `at`. Entries pushed with equal timestamps
     /// pop in push order.
     pub fn push(&mut self, at: SimTime, item: T) {
@@ -208,6 +218,7 @@ impl<T> TimingWheel<T> {
 
     /// Removes and returns the next entry in `(time, insertion)` order.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let _s = profile::span("wheel.pop");
         if self.ready.is_empty() {
             self.pump();
         }
@@ -302,6 +313,7 @@ impl<T> TimingWheel<T> {
                 self.batch.sort_unstable_by_key(|&n| nodes[n as usize].seq);
                 self.ready.extend(self.batch.iter().copied());
             } else {
+                let _s = profile::span("wheel.cascade");
                 while node != NIL {
                     let next = self.nodes[node as usize].next;
                     self.nodes[node as usize].next = NIL;

@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use arpshield_netsim::SimTime;
 use arpshield_packet::{Ipv4Addr, MacAddr};
+use arpshield_trace::profile;
 use arpshield_trace::Tracer;
 
 /// What a scheme believes it saw.
@@ -123,6 +124,7 @@ impl AlertLog {
     /// survives flight-recorder eviction; the triggering frame leads
     /// the citation list, historical evidence follows.
     pub fn raise_with_frames(&self, alert: Alert, evidence: &[u64]) {
+        let _s = profile::span("scheme.verdict");
         let mut inner = self.inner.borrow_mut();
         inner.tracer.count(verdict_counter(alert.kind), 1);
         let mut frames: Vec<u64> = inner.tracer.current_frame().into_iter().collect();

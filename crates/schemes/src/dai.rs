@@ -16,6 +16,7 @@ use arpshield_packet::{
     ArpPacket, DhcpMessage, DhcpMessageType, EtherType, EthernetView, IpProtocol, Ipv4Addr,
     Ipv4Packet, MacAddr, UdpDatagram, DHCP_CLIENT_PORT, DHCP_SERVER_PORT,
 };
+use arpshield_trace::profile;
 
 use crate::alert::{Alert, AlertKind, AlertLog};
 use crate::work;
@@ -176,6 +177,7 @@ impl FrameInspector for DaiInspector {
         vlan: VlanId,
         eth: &EthernetView<'_>,
     ) -> InspectVerdict {
+        let _s = profile::span("dai.inspect");
         let trusted = self.config.trusted_ports.contains(&ingress);
         match eth.ethertype() {
             EtherType::Ipv4 => {

@@ -30,6 +30,7 @@ use std::collections::BTreeMap;
 
 use arpshield_netsim::{Device, FrameInspector, InspectVerdict, PortId, SimTime, StandaloneDriver};
 use arpshield_packet::{EtherType, EthernetView, ETHERNET_MAX_PAYLOAD};
+use arpshield_trace::profile;
 use arpshield_trace::{FrameKind, Tracer};
 
 use crate::alert::{Alert, AlertLog};
@@ -197,6 +198,7 @@ impl Detector {
     /// which records both). The endpoint strings are only materialized
     /// when a flight recorder is armed.
     pub fn observe_from(&mut self, at: SimTime, bytes: &[u8], src: &str, dst: &str) {
+        let _s = profile::span("ingest.observe");
         self.stats.frames += 1;
         self.stats.bytes += bytes.len() as u64;
         self.last_at = self.last_at.max(at);

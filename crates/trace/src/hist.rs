@@ -182,6 +182,37 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_has_no_quantiles_at_any_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_estimate(q), None, "q={q}");
+            assert_eq!(h.quantile_bounds(q), None, "q={q}");
+        }
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_bin_quantiles_narrow_to_recorded_extremes() {
+        // All samples land in bucket 3 ([4, 7]); min/max must narrow
+        // every quantile's bounds to [5, 7], not the bucket's [4, 7].
+        let mut h = Histogram::new();
+        for v in [5u64, 6, 7, 7] {
+            h.record(v);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_bounds(q), Some((5, 7)), "q={q}");
+            assert_eq!(h.quantile_estimate(q), Some(7), "q={q}");
+        }
+        // The zero bucket is its own single-bin case: exact by design.
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.quantile_bounds(0.5), Some((0, 0)));
+        assert_eq!(zeros.quantile_estimate(1.0), Some(0));
+    }
+
+    #[test]
     fn record_and_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -52,21 +52,40 @@
 //! outputs and bench numbers are untouched by instrumentation; with
 //! tracing on but capture off, frame recording additionally skips the
 //! octet copy and endpoint formatting entirely.
+//!
+//! ## Wall-clock telemetry
+//!
+//! Two sibling subsystems deliberately step outside the sim-time rule
+//! and are quarantined to stderr and sidecar files for it:
+//! [`profile`] (span-scoped wall-clock self-profiling, exported as
+//! `results/profile/<id>.json` + `.csv` by `reproduce --profile`) and
+//! [`heartbeat`] (periodic progress lines during scale sweeps and
+//! ingest, suppressed by `ARPSHIELD_QUIET=1`). Both follow the same
+//! disabled-path discipline as the tracer. [`env_knob`] centralises
+//! `ARPSHIELD_*` environment parsing so every knob warns-and-defaults
+//! on garbage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod collect;
 mod csv;
+pub mod env_knob;
+pub mod heartbeat;
 mod hist;
 mod json;
 pub mod pcapng;
+pub mod profile;
 mod record;
 mod recorder;
 
 pub use collect::{current, install, InstallGuard, RunManifest, RunSection, TraceCollector};
 pub use csv::csv_escape;
+pub use heartbeat::Heartbeat;
 pub use hist::{bucket_of, bucket_range, Histogram, BUCKETS};
+pub use profile::{
+    GaugeStats, ProfileCollector, ProfileData, ProfileReport, SpanStats, PROFILE_SCHEMA,
+};
 pub use record::{Event, RunRecorder, Tracer, MAX_EVENTS_PER_RUN};
 pub use recorder::{
     ring_capacity_from_env, FrameKind, FrameRecorder, RecordedFrame, DEFAULT_RECORD_FRAMES,

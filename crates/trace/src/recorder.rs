@@ -120,6 +120,11 @@ impl FrameRecorder {
             bytes: bytes.to_vec(),
             pinned: false,
         });
+        // Ring-fill gauge for `--profile` runs, decimated so a capture
+        // without profiling pays one branch per 1024 frames.
+        if id % 1024 == 0 {
+            crate::profile::gauge("recorder.ring_fill", self.len() as u64);
+        }
         id
     }
 
@@ -163,22 +168,11 @@ impl FrameRecorder {
 /// silently; a malformed one yields the default plus a warning string
 /// for the caller to surface.
 pub fn ring_capacity_from_env() -> (usize, Option<String>) {
-    match std::env::var("ARPSHIELD_RECORD_FRAMES") {
-        Err(std::env::VarError::NotPresent) => (DEFAULT_RECORD_FRAMES, None),
-        Err(std::env::VarError::NotUnicode(_)) => (
-            DEFAULT_RECORD_FRAMES,
-            Some("ignoring non-unicode ARPSHIELD_RECORD_FRAMES".to_string()),
-        ),
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => (n, None),
-            _ => (
-                DEFAULT_RECORD_FRAMES,
-                Some(format!(
-                    "ignoring ARPSHIELD_RECORD_FRAMES={raw:?}: expected a positive integer"
-                )),
-            ),
-        },
-    }
+    crate::env_knob::knob("ARPSHIELD_RECORD_FRAMES").parse_or(
+        DEFAULT_RECORD_FRAMES,
+        "a positive integer",
+        |n| *n >= 1,
+    )
 }
 
 #[cfg(test)]

@@ -6,6 +6,11 @@
 #   scripts/bench_compare.sh            # compare, warn, always exit 0
 #   THRESHOLD=2.0 scripts/bench_compare.sh
 #
+# Besides the human-readable report, every run rewrites
+# results/bench/compare.json (schema arpshield-bench-compare/1) with one
+# entry per compared bench, so dashboards and follow-up tooling can
+# consume the comparison without re-parsing the stdout.
+#
 # This is deliberately NON-FATAL: CI runs the benches in one-iteration
 # smoke mode (TESTKIT_BENCH_SMOKE=1), so its numbers are indicative only
 # and noisy by design. Regenerate real baselines with a measured run:
@@ -47,6 +52,7 @@ def medians(path):
 
 
 regressions = improvements = compared = 0
+entries = []
 for baseline_file in sorted(baseline_dir.glob("*.json")):
     current_file = current_dir / baseline_file.name
     if not current_file.exists():
@@ -63,16 +69,31 @@ for baseline_file in sorted(baseline_dir.glob("*.json")):
         name = "/".join(k for k in key if k)
         if ratio >= threshold:
             regressions += 1
+            verdict = "slower"
             print(
                 f"bench_compare: SLOWER {name}: {cur_value:.1f} {unit} vs "
                 f"baseline {base_value:.1f} {unit} ({ratio:.2f}x >= {threshold}x)"
             )
         elif ratio <= 1 / threshold:
             improvements += 1
+            verdict = "faster"
             print(
                 f"bench_compare: faster {name}: {cur_value:.1f} {unit} vs "
                 f"baseline {base_value:.1f} {unit} ({ratio:.2f}x)"
             )
+        else:
+            verdict = "ok"
+        entries.append(
+            {
+                "name": name,
+                "file": baseline_file.name,
+                "unit": unit,
+                "baseline": base_value,
+                "current": cur_value,
+                "ratio": round(ratio, 4),
+                "verdict": verdict,
+            }
+        )
 
 print(
     f"bench_compare: {compared} entries compared, {regressions} above the "
@@ -80,6 +101,18 @@ print(
 )
 if regressions:
     print("bench_compare: advisory only — smoke-mode CI numbers are noisy; rerun `cargo bench` measured before acting")
+
+report = {
+    "schema": "arpshield-bench-compare/1",
+    "threshold": threshold,
+    "compared": compared,
+    "regressions": regressions,
+    "improvements": improvements,
+    "entries": entries,
+}
+out_path = current_dir / "compare.json"
+out_path.write_text(json.dumps(report, indent=2) + "\n")
+print(f"bench_compare: wrote {out_path}")
 PY
 
 # Advisory: never fail the build on a perf delta.
